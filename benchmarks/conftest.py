@@ -1,0 +1,78 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Environment knobs (all optional):
+
+``REPRO_BENCH_SCALE``      thermal time-scale (default 4000; smaller = more
+                           faithful and slower; DESIGN.md §4)
+``REPRO_BENCH_QUANTUM``    cycles per simulated OS quantum (default 125000,
+                           i.e. the paper's 125 ms quantum at the default scale)
+``REPRO_BENCH_SET``        'subset' (default), 'full', or a comma-separated
+                           list of benchmark names
+
+Each benchmark prints the paper-style rows it reproduces and also writes
+them under ``benchmarks/results/`` so EXPERIMENTS.md can reference them.
+The pytest-benchmark fixture times one representative simulation slice per
+figure (full experiment wall time is dominated by the sweep itself).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import scaled_config
+from repro.sim import ExperimentRunner
+from repro.workloads import DEFAULT_BENCH_SUBSET, SPEC_PROFILES
+
+
+def _env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+BENCH_SCALE = _env_float("REPRO_BENCH_SCALE", 4000.0)
+BENCH_QUANTUM = _env_int("REPRO_BENCH_QUANTUM", 125_000)
+
+
+def bench_set() -> list[str]:
+    raw = os.environ.get("REPRO_BENCH_SET", "subset")
+    if raw == "subset":
+        return list(DEFAULT_BENCH_SUBSET)
+    if raw == "full":
+        return sorted(SPEC_PROFILES)
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return scaled_config(time_scale=BENCH_SCALE, quantum_cycles=BENCH_QUANTUM)
+
+
+@pytest.fixture(scope="session")
+def benchmarks_list():
+    return bench_set()
+
+
+@pytest.fixture(scope="session")
+def runner(bench_config):
+    """One session-wide runner so figures share solo/pair runs."""
+    return ExperimentRunner(bench_config)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = Path(__file__).parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

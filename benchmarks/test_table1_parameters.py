@@ -1,0 +1,46 @@
+"""Table 1 — system parameters.
+
+Not an experiment: renders the configured machine exactly as the paper's
+Table 1 and asserts the values, so any drift in defaults is caught here.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.config import MachineConfig, ThermalConfig
+
+
+def test_table1_parameters(results_dir, benchmark):
+    machine = MachineConfig()
+    thermal = ThermalConfig()
+
+    rows = [
+        ["Instruction issue", f"{machine.issue_width}, out-of-order"],
+        ["L1", f"{machine.l1i.size_bytes // 1024}KB {machine.l1i.assoc}-way i & d, "
+               f"{machine.l1i.latency}-cycle"],
+        ["L2", f"{machine.l2.size_bytes // (1024 * 1024)}M {machine.l2.assoc}-way "
+               f"shared {machine.l2.latency}-cycle"],
+        ["RUU/LSQ", f"{machine.ruu_size}/{machine.lsq_size} entries"],
+        ["Memory ports", machine.mem_ports],
+        ["Off-chip memory latency", f"{machine.memory_latency} cycles"],
+        ["SMT", f"{machine.num_threads} contexts"],
+        ["Vdd", f"{thermal.vdd} V"],
+        ["Base frequency", f"{thermal.frequency_hz / 1e9:g} GHz"],
+        ["Convection resistance", f"{thermal.convection_resistance_k_per_w} K/W"],
+        ["Heat-sink thickness", f"{thermal.heatsink_thickness_mm} mm"],
+        ["Emergency temperature", f"{thermal.emergency_k} K"],
+    ]
+    table = format_table(
+        ["parameter", "value"], rows, title="Table 1: system parameters"
+    )
+    emit(results_dir, "table1_parameters", table)
+
+    assert machine.issue_width == 6
+    assert machine.ruu_size == 128 and machine.lsq_size == 32
+    assert machine.memory_latency == 300
+    assert machine.num_threads == 2
+    assert thermal.vdd == 1.1
+    assert thermal.frequency_hz == 4.0e9
+    assert thermal.convection_resistance_k_per_w == 0.8
+
+    benchmark.pedantic(lambda: MachineConfig(), rounds=5, iterations=10)

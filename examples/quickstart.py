@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: simulate an SMT machine, launch a heat-stroke attack, defend.
+
+Runs three short simulations of a SPEC-like victim (gzip):
+
+1. alone on the SMT machine (baseline),
+2. co-scheduled with the paper's variant2 heat-stroke kernel under the
+   stop-and-go base-case thermal management (the attack), and
+3. the same pairing under selective sedation (the defense).
+
+Usage::
+
+    python examples/quickstart.py [--quantum CYCLES] [--victim NAME]
+"""
+
+import argparse
+
+from repro import scaled_config, run_workloads
+from repro.analysis import degradation, restoration
+from repro.sim import ExperimentRunner
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quantum", type=int, default=100_000,
+                        help="cycles per simulated OS quantum")
+    parser.add_argument("--victim", default="gzip",
+                        help="SPEC-like victim benchmark (see repro.workload_names())")
+    args = parser.parse_args()
+
+    config = scaled_config(time_scale=4000.0, quantum_cycles=args.quantum)
+    runner = ExperimentRunner(config)
+
+    print(f"=== 1. {args.victim} running alone (stop-and-go DTM) ===")
+    solo = runner.solo(args.victim, policy="stop_and_go")
+    print(solo.summary())
+
+    print("\n=== 2. heat stroke: + variant2 under stop-and-go ===")
+    attacked = run_workloads(
+        config.with_policy("stop_and_go"), [args.victim, "variant2"]
+    )
+    print(attacked.summary())
+
+    print("\n=== 3. defense: + variant2 under selective sedation ===")
+    defended = run_workloads(
+        config.with_policy("sedation"), [args.victim, "variant2"]
+    )
+    print(defended.summary())
+
+    solo_ipc = solo.threads[0].ipc
+    attacked_ipc = attacked.threads[0].ipc
+    defended_ipc = defended.threads[0].ipc
+    print("\n=== verdict ===")
+    print(f"victim IPC: solo {solo_ipc:.2f} -> attacked {attacked_ipc:.2f} "
+          f"({degradation(solo_ipc, attacked_ipc):.0%} degradation) "
+          f"-> defended {defended_ipc:.2f}")
+    print(f"temperature emergencies: solo {solo.emergencies}, "
+          f"attacked {attacked.emergencies}, defended {defended.emergencies}")
+    print(f"sedation recovered {restoration(solo_ipc, attacked_ipc, defended_ipc):.0%} "
+          f"of the attack's damage")
+
+
+if __name__ == "__main__":
+    main()

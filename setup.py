@@ -1,0 +1,6 @@
+"""Setuptools shim for legacy editable installs (offline environments
+without the ``wheel`` package, where PEP-517 builds are unavailable)."""
+
+from setuptools import setup
+
+setup()

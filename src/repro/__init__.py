@@ -1,0 +1,95 @@
+"""repro — reproduction of "Heat Stroke: Power-Density-Based Denial of
+Service in SMT" (Hasan, Jalote, Vijaykumar, Brodley; HPCA 2005).
+
+Quick start::
+
+    from repro import scaled_config, run_workloads
+
+    config = scaled_config().with_policy("stop_and_go")
+    result = run_workloads(config, ["gzip", "variant2"])
+    print(result.summary())
+
+The package layers (bottom to top): :mod:`repro.isa` (mini ISA),
+:mod:`repro.memory` / :mod:`repro.branch` (cache and predictor substrates),
+:mod:`repro.pipeline` (the SMT core), :mod:`repro.power` /
+:mod:`repro.thermal` (Wattch/HotSpot-style models), :mod:`repro.core` (the
+paper's selective-sedation contribution), :mod:`repro.dtm` (thermal
+management policies), :mod:`repro.workloads` (SPEC-like profiles plus the
+malicious kernels), and :mod:`repro.sim` (the co-simulator and experiment
+harness).
+"""
+
+from .analysis import (
+    degradation,
+    duty_cycle,
+    format_bar_chart,
+    format_table,
+    mean_degradation,
+    restoration,
+)
+from .config import (
+    CacheConfig,
+    MachineConfig,
+    SedationConfig,
+    SimulationConfig,
+    ThermalConfig,
+    paper_config,
+    scaled_config,
+)
+from .errors import (
+    AssemblyError,
+    ConfigError,
+    ExecutionError,
+    PipelineError,
+    ReproError,
+    SimulationError,
+    ThermalError,
+    WorkloadError,
+)
+from .sim import ExperimentRunner, RunResult, Simulator, ThreadStats, run_workloads
+from .workloads import (
+    DEFAULT_BENCH_SUBSET,
+    HOT_BENCHMARKS,
+    MALICIOUS_VARIANTS,
+    SPEC_PROFILES,
+    make_source,
+    workload_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssemblyError",
+    "CacheConfig",
+    "ConfigError",
+    "DEFAULT_BENCH_SUBSET",
+    "degradation",
+    "duty_cycle",
+    "ExecutionError",
+    "ExperimentRunner",
+    "format_bar_chart",
+    "format_table",
+    "HOT_BENCHMARKS",
+    "MachineConfig",
+    "make_source",
+    "MALICIOUS_VARIANTS",
+    "mean_degradation",
+    "paper_config",
+    "PipelineError",
+    "ReproError",
+    "restoration",
+    "RunResult",
+    "run_workloads",
+    "scaled_config",
+    "SedationConfig",
+    "SimulationConfig",
+    "Simulator",
+    "SPEC_PROFILES",
+    "ThermalConfig",
+    "ThermalError",
+    "ThreadStats",
+    "SimulationError",
+    "WorkloadError",
+    "workload_names",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Result analysis: comparison metrics and paper-style table rendering."""
+
+from .compare import (
+    degradation,
+    duty_cycle,
+    geometric_slowdown,
+    mean_degradation,
+    restoration,
+)
+from .tables import format_bar_chart, format_table
+from .trace import excursions_above, strip_chart, trace_to_csv
+
+__all__ = [
+    "degradation",
+    "duty_cycle",
+    "excursions_above",
+    "format_bar_chart",
+    "format_table",
+    "geometric_slowdown",
+    "mean_degradation",
+    "restoration",
+    "strip_chart",
+    "trace_to_csv",
+]

@@ -1,0 +1,49 @@
+"""Comparison metrics used throughout the paper's evaluation."""
+
+from __future__ import annotations
+
+from statistics import fmean
+
+from ..errors import SimulationError
+from ..sim.stats import RunResult
+
+
+def degradation(baseline_ipc: float, observed_ipc: float) -> float:
+    """Fractional IPC loss relative to a baseline (the paper's headline
+    metric: variant2 under stop-and-go degrades SPEC IPC by 0.882)."""
+    if baseline_ipc <= 0:
+        raise SimulationError("baseline IPC must be positive")
+    return max(0.0, 1.0 - observed_ipc / baseline_ipc)
+
+
+def mean_degradation(pairs: list[tuple[float, float]]) -> float:
+    """Average degradation over (baseline, observed) IPC pairs."""
+    if not pairs:
+        raise SimulationError("no IPC pairs to average")
+    return fmean(degradation(base, observed) for base, observed in pairs)
+
+
+def duty_cycle(result: RunResult, tid: int = 0) -> float:
+    """Fraction of the quantum the thread spent executing (not stalled).
+
+    Heat stroke's signature under stop-and-go: heating ~1.2 ms vs cooling
+    ~12.5 ms gives a duty cycle near 1.2/13.7 ≈ 0.09.
+    """
+    return result.threads[tid].normal_fraction
+
+
+def restoration(
+    solo_ipc: float, attacked_ipc: float, defended_ipc: float
+) -> float:
+    """How much of the attack's damage the defense recovered (0..1)."""
+    lost = solo_ipc - attacked_ipc
+    if lost <= 0:
+        return 1.0
+    return max(0.0, min(1.0, (defended_ipc - attacked_ipc) / lost))
+
+
+def geometric_slowdown(results: list[RunResult], tid: int = 0) -> float:
+    """Mean IPC across runs for one thread slot (paper reports plain means)."""
+    if not results:
+        raise SimulationError("no results")
+    return fmean(r.threads[tid].ipc for r in results)

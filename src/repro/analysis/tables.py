@@ -1,0 +1,65 @@
+"""Paper-style table rendering for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures plot;
+these helpers keep the formatting consistent and dependency-free (plain
+monospace tables suitable for a terminal or EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a monospace table with right-aligned numeric columns."""
+    rendered_rows = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(headers))
+    lines.append(render_row(["-" * w for w in widths]))
+    lines.extend(render_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """ASCII horizontal bars — a terminal rendition of the paper's figures."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max(values, default=0.0)
+    scale = (width / peak) if peak > 0 else 0.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(value * scale))
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Floorplan block identifiers shared by the pipeline, power and thermal models.
+
+Blocks are small integers so the pipeline's hot loop can count accesses into
+flat lists.  The set mirrors the Alpha-like floorplan the paper inherits from
+HotSpot: the integer register file is the designated hot spot of the attack,
+but every block carries a sensor so attacks against other structures are
+detected the same way (DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+INT_RF = 0
+FP_RF = 1
+IALU = 2
+IMULT = 3
+FALU = 4
+FMULT = 5
+BPRED = 6
+ICACHE = 7
+DCACHE = 8
+L2 = 9
+WINDOW = 10
+LSQ = 11
+RENAME = 12
+
+NUM_BLOCKS = 13
+
+BLOCK_NAMES = (
+    "int_rf",
+    "fp_rf",
+    "ialu",
+    "imult",
+    "falu",
+    "fmult",
+    "bpred",
+    "icache",
+    "dcache",
+    "l2",
+    "window",
+    "lsq",
+    "rename",
+)
+
+BLOCK_IDS = {name: index for index, name in enumerate(BLOCK_NAMES)}
+
+
+def block_name(block: int) -> str:
+    """Human-readable name of a block id."""
+    return BLOCK_NAMES[block]
+
+
+def block_id(name: str) -> int:
+    """Block id for a human-readable name."""
+    return BLOCK_IDS[name]

@@ -1,0 +1,5 @@
+"""Branch prediction substrate."""
+
+from .predictor import BranchPredictor, PredictorConfig
+
+__all__ = ["BranchPredictor", "PredictorConfig"]

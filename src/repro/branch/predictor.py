@@ -1,0 +1,94 @@
+"""Branch prediction: gshare + bimodal chooser with a BTB.
+
+Program-backed threads (the malicious kernels) use this predictor for real:
+their loop branches train quickly and predict near-perfectly, which matches
+the paper — the attack does not rely on branch mispredictions.  Synthetic
+SPEC-profile threads carry their own profiled misprediction rates instead
+(see :mod:`repro.workloads.synthetic`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _saturate(counter: int, taken: bool, maximum: int = 3) -> int:
+    if taken:
+        return counter + 1 if counter < maximum else counter
+    return counter - 1 if counter > 0 else counter
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    gshare_bits: int = 12
+    bimodal_bits: int = 11
+    chooser_bits: int = 11
+    btb_entries: int = 1024
+
+
+class BranchPredictor:
+    """A tournament predictor with per-thread global history."""
+
+    def __init__(self, config: PredictorConfig | None = None, num_threads: int = 2):
+        self.config = config or PredictorConfig()
+        cfg = self.config
+        self._gshare = [2] * (1 << cfg.gshare_bits)
+        self._bimodal = [2] * (1 << cfg.bimodal_bits)
+        self._chooser = [2] * (1 << cfg.chooser_bits)
+        self._btb: dict[int, int] = {}
+        self._history = [0] * num_threads
+        self._gshare_mask = (1 << cfg.gshare_bits) - 1
+        self._bimodal_mask = (1 << cfg.bimodal_bits) - 1
+        self._chooser_mask = (1 << cfg.chooser_bits) - 1
+        self.lookups = 0
+        self.correct = 0
+
+    def _indices(self, thread: int, pc: int) -> tuple[int, int, int]:
+        gidx = (pc ^ self._history[thread]) & self._gshare_mask
+        bidx = pc & self._bimodal_mask
+        cidx = pc & self._chooser_mask
+        return gidx, bidx, cidx
+
+    def predict(self, thread: int, pc: int) -> tuple[bool, int | None]:
+        """Predict (taken, target) for the branch at ``pc``."""
+        gidx, bidx, cidx = self._indices(thread, pc)
+        use_gshare = self._chooser[cidx] >= 2
+        counter = self._gshare[gidx] if use_gshare else self._bimodal[bidx]
+        taken = counter >= 2
+        target = self._btb.get(pc) if taken else None
+        return taken, target
+
+    def update(self, thread: int, pc: int, taken: bool, target: int) -> bool:
+        """Train with the resolved outcome; returns prediction correctness."""
+        gidx, bidx, cidx = self._indices(thread, pc)
+        gshare_taken = self._gshare[gidx] >= 2
+        bimodal_taken = self._bimodal[bidx] >= 2
+        use_gshare = self._chooser[cidx] >= 2
+        predicted_taken = gshare_taken if use_gshare else bimodal_taken
+        predicted_target = self._btb.get(pc)
+        correct = predicted_taken == taken and (
+            not taken or predicted_target == target
+        )
+
+        if gshare_taken != bimodal_taken:
+            self._chooser[cidx] = _saturate(self._chooser[cidx], gshare_taken == taken)
+        self._gshare[gidx] = _saturate(self._gshare[gidx], taken)
+        self._bimodal[bidx] = _saturate(self._bimodal[bidx], taken)
+        if taken:
+            if len(self._btb) >= self.config.btb_entries and pc not in self._btb:
+                # Cheap BTB capacity model: evict an arbitrary entry.
+                self._btb.pop(next(iter(self._btb)))
+            self._btb[pc] = target
+        history = ((self._history[thread] << 1) | int(taken)) & self._gshare_mask
+        self._history[thread] = history
+
+        self.lookups += 1
+        if correct:
+            self.correct += 1
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        if self.lookups == 0:
+            return 1.0
+        return self.correct / self.lookups

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — simulate one quantum of a workload mix under a DTM policy and
+  print (or save) the result.
+* ``workloads`` — list every registered workload.
+* ``attack`` — the quickstart demo: solo / attacked / defended comparison.
+* ``temps`` — print the calibrated steady-state temperature ladder.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .analysis import format_table
+from .blocks import INT_RF
+from .config import scaled_config
+from .errors import ReproError
+from .power import EnergyModel
+from .sim import ExperimentRunner, Simulator
+from .sim.results import save_result
+from .thermal import RCThermalModel
+from .workloads import MALICIOUS_VARIANTS, SPEC_PROFILES, workload_names
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--time-scale", type=float, default=4000.0,
+                        help="thermal time compression factor (DESIGN.md §4)")
+    parser.add_argument("--quantum", type=int, default=None,
+                        help="cycles per OS quantum (default: scaled preset)")
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _config(args) -> "SimulationConfig":
+    return scaled_config(
+        time_scale=args.time_scale,
+        quantum_cycles=args.quantum,
+        seed=args.seed,
+    )
+
+
+def cmd_run(args) -> int:
+    config = _config(args).with_policy(args.policy)
+    if args.ideal_sink:
+        config = config.with_ideal_sink()
+    simulator = Simulator(config, workloads=args.workloads)
+    result = simulator.run(trace=bool(args.output))
+    print(result.summary())
+    if args.output:
+        save_result(result, args.output)
+        print(f"saved to {args.output}")
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    rows = []
+    for name in workload_names():
+        if name in MALICIOUS_VARIANTS:
+            rows.append([name, "malicious kernel (paper Figs. 1-2)"])
+        else:
+            rows.append([name, SPEC_PROFILES[name].description])
+    print(format_table(["workload", "description"], rows))
+    return 0
+
+
+def cmd_attack(args) -> int:
+    config = _config(args)
+    runner = ExperimentRunner(config)
+    solo = runner.solo(args.victim, policy="stop_and_go")
+    attacked = runner.pair(args.victim, args.variant, policy="stop_and_go")
+    defended = runner.pair(args.victim, args.variant, policy="sedation")
+    rows = [
+        ["solo (stop-and-go)", solo.threads[0].ipc, solo.emergencies, "-"],
+        [
+            f"+{args.variant} (stop-and-go)",
+            attacked.threads[0].ipc,
+            attacked.emergencies,
+            f"{1 - attacked.threads[0].ipc / solo.threads[0].ipc:.0%} degradation",
+        ],
+        [
+            f"+{args.variant} (sedation)",
+            defended.threads[0].ipc,
+            defended.emergencies,
+            f"attacker sedated {defended.threads[1].sedated_fraction:.0%}",
+        ],
+    ]
+    print(format_table(
+        ["configuration", f"{args.victim} ipc", "emergencies", "note"], rows,
+        title=f"heat stroke vs {args.victim}",
+    ))
+    return 0
+
+
+def cmd_temps(args) -> int:
+    config = _config(args)
+    model = RCThermalModel(config.thermal)
+    energy = EnergyModel.default()
+    rows = []
+    for rate in (0, 2, 4, 6, 8, 10, 12):
+        power = (
+            energy.leakage_w[INT_RF]
+            + rate * energy.energy_j[INT_RF] * config.thermal.frequency_hz
+        )
+        temp = model.steady_state_block_temperature(
+            INT_RF, power, model.nominal_sink_k
+        )
+        note = ""
+        if temp >= config.thermal.emergency_k:
+            note = "EMERGENCY"
+        elif temp >= config.sedation.upper_threshold_k:
+            note = "upper threshold"
+        elif temp >= config.thermal.normal_operating_k:
+            note = "normal operating"
+        rows.append([rate, temp, note])
+    print(format_table(
+        ["int-RF acc/cycle", "steady T (K)", ""], rows,
+        title="calibrated temperature ladder",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Heat Stroke (HPCA 2005) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one quantum")
+    run.add_argument("workloads", nargs=2, metavar="WORKLOAD",
+                     help="two workload names (see `repro workloads`)")
+    run.add_argument("--policy", default="stop_and_go",
+                     choices=("ideal", "stop_and_go", "dvfs", "ttdfs", "fetch_gating", "sedation"))
+    run.add_argument("--ideal-sink", action="store_true")
+    run.add_argument("--output", help="save the result as JSON")
+    _add_common(run)
+    run.set_defaults(func=cmd_run)
+
+    workloads = sub.add_parser("workloads", help="list registered workloads")
+    workloads.set_defaults(func=cmd_workloads)
+
+    attack = sub.add_parser("attack", help="solo vs attacked vs defended demo")
+    attack.add_argument("--victim", default="gzip")
+    attack.add_argument("--variant", default="variant2",
+                        choices=MALICIOUS_VARIANTS)
+    _add_common(attack)
+    attack.set_defaults(func=cmd_attack)
+
+    temps = sub.add_parser("temps", help="print the temperature ladder")
+    _add_common(temps)
+    temps.set_defaults(func=cmd_temps)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

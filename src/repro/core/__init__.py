@@ -1,0 +1,19 @@
+"""The paper's contribution: usage monitoring and selective sedation."""
+
+from .detector import identify_culprit, rank_by_usage
+from .ewma import Ewma, FixedPointEwma
+from .reporting import OffenderReport, OSReportLog, ReportKind
+from .sedation import SelectiveSedationController
+from .usage import UsageMonitor
+
+__all__ = [
+    "Ewma",
+    "FixedPointEwma",
+    "identify_culprit",
+    "OffenderReport",
+    "OSReportLog",
+    "rank_by_usage",
+    "ReportKind",
+    "SelectiveSedationController",
+    "UsageMonitor",
+]

@@ -1,0 +1,42 @@
+"""Culprit identification (paper §3.2.1).
+
+When a resource's sensor crosses the upper threshold, the thread with the
+highest weighted-average access rate *at that resource* is the culprit.  The
+paper deliberately does not ask whether the thread is malicious: any thread
+with a power-density problem must be slowed down regardless, so intent never
+needs to be inferred.
+"""
+
+from __future__ import annotations
+
+from .usage import UsageMonitor
+
+
+def identify_culprit(
+    monitor: UsageMonitor, block: int, candidates: list[int]
+) -> int | None:
+    """Pick the candidate thread with the highest EWMA at ``block``.
+
+    ``candidates`` are the currently unsedated, unhalted threads.  Returns
+    ``None`` when there are no candidates.  Ties break toward the lower
+    thread id (deterministic, and irrelevant in practice because attacker
+    and victim averages are widely separated — the paper's first key
+    observation).
+    """
+    best: int | None = None
+    best_average = -1.0
+    for tid in candidates:
+        average = monitor.weighted_average(tid, block)
+        if average > best_average:
+            best_average = average
+            best = tid
+    return best
+
+
+def rank_by_usage(
+    monitor: UsageMonitor, block: int, candidates: list[int]
+) -> list[tuple[int, float]]:
+    """All candidates with their EWMAs, highest first (for reports/tests)."""
+    pairs = [(tid, monitor.weighted_average(tid, block)) for tid in candidates]
+    pairs.sort(key=lambda pair: (-pair[1], pair[0]))
+    return pairs

@@ -1,0 +1,65 @@
+"""OS-visible reporting of offending threads.
+
+Beyond alleviating heat stroke in hardware, the paper "report[s] the
+offending threads to the operating system", so the OS can identify offenders
+and their users (e.g., mark repeat offenders ineligible for co-scheduling).
+The simulator's stand-in for that channel is an append-only event log that
+examples and the toy scheduler consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..blocks import block_name
+
+
+class ReportKind(enum.Enum):
+    SEDATED = "sedated"
+    RELEASED = "released"
+    EMERGENCY = "emergency"
+    SAFETY_NET = "safety_net"
+
+
+@dataclass(frozen=True)
+class OffenderReport:
+    """One event surfaced to the OS."""
+
+    cycle: int
+    kind: ReportKind
+    thread: int | None
+    block: int | None
+    temperature_k: float
+    weighted_average: float = 0.0
+
+    def describe(self) -> str:
+        where = block_name(self.block) if self.block is not None else "chip"
+        who = f"thread {self.thread}" if self.thread is not None else "all threads"
+        return (
+            f"[cycle {self.cycle}] {self.kind.value}: {who} at {where} "
+            f"(T={self.temperature_k:.2f} K, wavg={self.weighted_average:.2f})"
+        )
+
+
+class OSReportLog:
+    """Append-only log of offender reports."""
+
+    def __init__(self) -> None:
+        self.events: list[OffenderReport] = []
+
+    def record(self, report: OffenderReport) -> None:
+        self.events.append(report)
+
+    def sedations(self) -> list[OffenderReport]:
+        return [e for e in self.events if e.kind is ReportKind.SEDATED]
+
+    def sedation_counts_by_thread(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for event in self.sedations():
+            if event.thread is not None:
+                counts[event.thread] = counts.get(event.thread, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.events)

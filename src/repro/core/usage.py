@@ -1,0 +1,90 @@
+"""Per-thread, per-resource access-rate monitoring (paper §3.2.1).
+
+The hardware the paper budgets is one counter plus one weighted-average
+register per (resource, thread).  Here the counters are the pipeline's
+cumulative access counts; the monitor snapshots them every sample interval,
+computes the interval access rate, and folds it into the EWMA.
+
+Two paper-mandated behaviors:
+
+* **Sedated threads are not sampled** — "during sedation, the access-rate and
+  the weighted average of the culprit thread are not computed at all", so a
+  sedation period cannot artificially launder a thread's history.
+* Sampling is coarse (the time constants of hot-spot generation are ~10³×
+  the sample interval), so the monitor is cheap.
+"""
+
+from __future__ import annotations
+
+from ..blocks import NUM_BLOCKS
+from ..config import SedationConfig
+from ..pipeline.smt import SMTCore
+from .ewma import Ewma
+
+
+class UsageMonitor:
+    """Tracks EWMA access rates for every (thread, block) pair."""
+
+    def __init__(self, core: SMTCore, config: SedationConfig) -> None:
+        self.core = core
+        self.config = config
+        self.sample_interval = config.sample_interval
+        num_threads = len(core.threads)
+        self._ewma = [
+            [Ewma(config.ewma_shift) for _ in range(NUM_BLOCKS)]
+            for _ in range(num_threads)
+        ]
+        self._last_counts = [list(counts) for counts in core.access_counts]
+        self._last_cycle = core.cycle
+        self.samples_taken = 0
+
+    def sample(self) -> None:
+        """Take one sample: fold interval rates into the EWMAs.
+
+        Threads currently sedated keep their snapshot frozen too, so the
+        quiet interval neither lowers their average nor accumulates into a
+        burst at release time.
+        """
+        cycle = self.core.cycle
+        interval = cycle - self._last_cycle
+        if interval <= 0:
+            return
+        for tid, counts in enumerate(self.core.access_counts):
+            last = self._last_counts[tid]
+            if self.core.threads[tid].sedated:
+                last[:] = counts
+                continue
+            averages = self._ewma[tid]
+            for block in range(NUM_BLOCKS):
+                rate = (counts[block] - last[block]) / interval
+                averages[block].update(rate)
+                last[block] = counts[block]
+        self._last_cycle = cycle
+        self.samples_taken += 1
+
+    def skip(self) -> None:
+        """Advance the snapshot without sampling (global-stall periods)."""
+        self._last_cycle = self.core.cycle
+        for tid, counts in enumerate(self.core.access_counts):
+            self._last_counts[tid][:] = counts
+
+    def weighted_average(self, tid: int, block: int) -> float:
+        """Current EWMA access rate of one thread at one resource."""
+        return self._ewma[tid][block].value
+
+    def averages_at(self, block: int) -> list[float]:
+        """EWMA of every thread at one resource, indexed by thread id."""
+        return [self._ewma[tid][block].value for tid in range(len(self._ewma))]
+
+    def flat_average(self, tid: int, block: int) -> float:
+        """Cumulative accesses / cycles — the metric Figure 3 plots.
+
+        The paper argues this *flat* average cannot separate moderately
+        malicious threads (variant2 at ~4, variant3 at ~1.5 accesses/cycle)
+        from SPEC programs, which is why sedation keys on the EWMA plus a
+        temperature trigger instead.
+        """
+        cycles = self.core.cycle
+        if cycles == 0:
+            return 0.0
+        return self.core.access_counts[tid][block] / cycles

@@ -1,0 +1,36 @@
+"""Dynamic thermal management policy interface.
+
+A policy observes sensor readings and controls the pipeline through three
+knobs the simulator honors:
+
+* ``global_stall`` — clock-gate the whole core (stop-and-go's mechanism);
+* ``slowdown`` / ``power_scale`` — run the core at a fraction of full speed
+  with scaled dynamic power (DVFS's mechanism);
+* direct per-thread sedation through the core (selective sedation).
+
+All policies see the same sensor stream the paper assumes: one reading per
+sensor interval, every block instrumented.
+"""
+
+from __future__ import annotations
+
+from ..thermal.sensors import SensorReading
+
+
+class DTMPolicy:
+    """Base policy: never throttles (the ideal-sink companion)."""
+
+    name = "ideal"
+
+    def __init__(self) -> None:
+        self.global_stall = False
+        self.slowdown = 1
+        self.power_scale = 1.0
+        self.engagements = 0
+
+    def on_sensor(self, reading: SensorReading) -> None:
+        """Observe a sensor reading; update throttle state."""
+        return None
+
+    def describe(self) -> str:
+        return f"{self.name} (engaged {self.engagements}x)"

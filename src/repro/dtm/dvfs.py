@@ -1,0 +1,57 @@
+"""Global dynamic voltage/frequency scaling, for comparison with stop-and-go.
+
+The paper argues (§4) that DVS performs comparably to stop-and-go for these
+workloads and scales poorly with technology (shrinking Vdd-to-threshold gap),
+so stop-and-go is the baseline.  This policy exists to let benchmarks verify
+the "performs comparably" claim inside our model: when hot, the core runs at
+``1/slowdown`` of full speed with dynamic power scaled by
+``power_scale ≈ (f/f0)·(V/V0)²``.
+
+A cycle-level simulator cannot literally stretch its clock, so the simulator
+realizes ``slowdown`` by gating the pipeline on all but every n-th cycle —
+the standard discrete approximation.
+"""
+
+from __future__ import annotations
+
+from ..thermal.sensors import SensorReading
+from .base import DTMPolicy
+
+
+class DVFS(DTMPolicy):
+    """Halve frequency (and scale voltage) when hot; restore when cool."""
+
+    name = "dvfs"
+
+    def __init__(
+        self,
+        emergency_k: float,
+        resume_k: float,
+        slowdown: int = 2,
+        voltage_ratio: float = 0.85,
+    ) -> None:
+        super().__init__()
+        if resume_k >= emergency_k:
+            raise ValueError("resume threshold must be below emergency")
+        if slowdown < 2:
+            raise ValueError("slowdown must be >= 2")
+        self.emergency_k = emergency_k
+        self.resume_k = resume_k
+        self._scaled_slowdown = slowdown
+        # The frequency factor of P ∝ f·V² emerges naturally from gating
+        # (fewer accesses per wall-clock second); only V² is applied here.
+        self._scaled_power = voltage_ratio * voltage_ratio
+        self.throttled = False
+
+    def on_sensor(self, reading: SensorReading) -> None:
+        hottest = reading.hottest_k
+        if self.throttled:
+            if hottest <= self.resume_k:
+                self.throttled = False
+                self.slowdown = 1
+                self.power_scale = 1.0
+        elif hottest >= self.emergency_k:
+            self.throttled = True
+            self.slowdown = self._scaled_slowdown
+            self.power_scale = self._scaled_power
+            self.engagements += 1

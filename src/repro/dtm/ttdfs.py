@@ -1,0 +1,61 @@
+"""Temperature-Tracking Dynamic Frequency Scaling (TTDFS).
+
+The paper discusses TTDFS (from the HotSpot work) and rejects it as a base
+case: it "allows the processor to heat above its maximum temperature by
+slowing the clock and relaxing timing constraints", is "effective only if
+the sole limitation on power density is circuit timing", and "does not
+reduce maximum temperature or prevent physical overheating".  It is
+implemented here so the ablation benchmark can demonstrate exactly that
+failure mode: under TTDFS the pipeline keeps running (slower) while the hot
+spot keeps climbing past the emergency point.
+
+Model: above a tracking threshold the clock is stepped down one notch per
+degree (slowdown 2, 3, 4 ...), scaling dynamic power with frequency; there
+is no stall and no upper bound on temperature.
+"""
+
+from __future__ import annotations
+
+from ..thermal.sensors import SensorReading
+from .base import DTMPolicy
+
+
+class TTDFS(DTMPolicy):
+    """Frequency tracks temperature; nothing ever stalls."""
+
+    name = "ttdfs"
+
+    def __init__(
+        self,
+        tracking_threshold_k: float,
+        degrees_per_step: float = 1.0,
+        max_slowdown: int = 4,
+    ) -> None:
+        super().__init__()
+        if degrees_per_step <= 0:
+            raise ValueError("degrees_per_step must be positive")
+        if max_slowdown < 2:
+            raise ValueError("max_slowdown must be >= 2")
+        self.tracking_threshold_k = tracking_threshold_k
+        self.degrees_per_step = degrees_per_step
+        self.max_slowdown = max_slowdown
+        self.peak_seen_k = 0.0
+
+    def on_sensor(self, reading: SensorReading) -> None:
+        hottest = reading.hottest_k
+        if hottest > self.peak_seen_k:
+            self.peak_seen_k = hottest
+        over = hottest - self.tracking_threshold_k
+        if over <= 0:
+            if self.slowdown != 1:
+                self.slowdown = 1
+                self.power_scale = 1.0
+            return
+        steps = 1 + int(over / self.degrees_per_step)
+        new_slowdown = min(self.max_slowdown, 1 + steps)
+        if new_slowdown != self.slowdown:
+            self.slowdown = new_slowdown
+            # P ∝ f·V²: the frequency factor emerges from gating; keep V
+            # constant (TTDFS relaxes timing, it does not lower voltage).
+            self.power_scale = 1.0
+            self.engagements += 1

@@ -1,0 +1,36 @@
+"""Mini Alpha-flavored ISA: instructions, assembler, and functional executor."""
+
+from .assembler import assemble
+from .executor import ArchExecutor, StepResult
+from .instructions import EXEC_LATENCY, Instruction, OpClass, OPCODES, OpSpec
+from .program import Program
+from .registers import (
+    FP_BASE,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    TOTAL_REGS,
+    ZERO_REG,
+    is_fp_register,
+    parse_register,
+    register_name,
+)
+
+__all__ = [
+    "ArchExecutor",
+    "assemble",
+    "EXEC_LATENCY",
+    "FP_BASE",
+    "Instruction",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "OpClass",
+    "OPCODES",
+    "OpSpec",
+    "Program",
+    "StepResult",
+    "TOTAL_REGS",
+    "ZERO_REG",
+    "is_fp_register",
+    "parse_register",
+    "register_name",
+]

@@ -1,0 +1,178 @@
+"""A two-pass text assembler for the mini ISA.
+
+Syntax (Alpha-flavored, matching the paper's listings)::
+
+    L1:                       # label
+        li    $1, 5           # load immediate
+        addl  $3, $1, $2      # dest, src1, src2
+        addl  $3, $1, 7       # register-immediate form
+        ldq   $4, 0x12340     # absolute-address load
+        ldq   $4, 16($5)      # base + displacement load
+        stq   $4, 8($5)       # store
+        beq   $3, L1          # conditional branch
+        br    L1              # unconditional branch
+        halt
+
+``#`` and ``;`` start comments.  Immediates may be decimal or ``0x`` hex.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import AssemblyError
+from .instructions import Instruction, OpClass, OPCODES
+from .program import Program
+from .registers import parse_register
+
+_MEM_OPERAND = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\(\s*(\$f?\d+)\s*\)$")
+_LABEL = re.compile(r"^[A-Za-z_$][A-Za-z0-9_$]*$")
+
+
+def _parse_immediate(token: str, line_number: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"malformed immediate {token!r}", line_number) from None
+
+
+def _split_operands(rest: str) -> list[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble ``source`` into a :class:`Program`.
+
+    Raises :class:`~repro.errors.AssemblyError` with the offending line number
+    on any syntax problem, unknown opcode, bad register, or undefined label.
+    """
+    instructions: list[Instruction] = []
+    labels: dict[str, int] = {}
+    pending: list[tuple[int, str, int]] = []  # (instr index, label, line no)
+
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw_line)
+        if not line:
+            continue
+        # Peel off any leading labels ("L1: L2: addl ..." is legal).
+        while True:
+            head, colon, tail = line.partition(":")
+            if not colon or not _LABEL.match(head.strip()):
+                break
+            label = head.strip()
+            if label in labels:
+                raise AssemblyError(f"duplicate label {label!r}", line_number)
+            labels[label] = len(instructions)
+            line = tail.strip()
+        if not line:
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        if mnemonic not in OPCODES:
+            raise AssemblyError(f"unknown opcode {mnemonic!r}", line_number)
+        spec = OPCODES[mnemonic]
+        operands = _split_operands(parts[1] if len(parts) > 1 else "")
+        instruction = _parse_instruction(
+            mnemonic, spec.opclass, operands, line_number, len(instructions), pending
+        )
+        instructions.append(instruction)
+
+    resolved = list(instructions)
+    for index, label, line_number in pending:
+        if label not in labels:
+            raise AssemblyError(f"undefined label {label!r}", line_number)
+        old = resolved[index]
+        resolved[index] = Instruction(
+            opcode=old.opcode,
+            dest=old.dest,
+            srcs=old.srcs,
+            imm=old.imm,
+            base=old.base,
+            target=labels[label],
+            label=label,
+        )
+    return Program(resolved, labels, name=name)
+
+
+def _parse_instruction(
+    mnemonic: str,
+    opclass: OpClass,
+    operands: list[str],
+    line_number: int,
+    index: int,
+    pending: list[tuple[int, str, int]],
+) -> Instruction:
+    spec = OPCODES[mnemonic]
+
+    if opclass in (OpClass.LOAD, OpClass.STORE):
+        if len(operands) != 2:
+            raise AssemblyError(f"{mnemonic} takes 2 operands", line_number)
+        data_reg = parse_register(operands[0])
+        match = _MEM_OPERAND.match(operands[1].replace(" ", ""))
+        if match:
+            imm = _parse_immediate(match.group(1), line_number)
+            base = parse_register(match.group(2))
+        else:
+            imm = _parse_immediate(operands[1], line_number)
+            base = None
+        if opclass is OpClass.LOAD:
+            return Instruction(mnemonic, dest=data_reg, imm=imm, base=base)
+        return Instruction(mnemonic, srcs=(data_reg,), imm=imm, base=base)
+
+    if opclass is OpClass.BRANCH:
+        expected = spec.num_sources + 1  # sources + target label
+        if len(operands) != expected:
+            raise AssemblyError(
+                f"{mnemonic} takes {expected} operand(s)", line_number
+            )
+        srcs = tuple(parse_register(tok) for tok in operands[: spec.num_sources])
+        label = operands[-1]
+        if not _LABEL.match(label):
+            raise AssemblyError(f"malformed branch target {label!r}", line_number)
+        pending.append((index, label, line_number))
+        return Instruction(mnemonic, srcs=srcs, label=label)
+
+    if mnemonic == "li":
+        if len(operands) != 2:
+            raise AssemblyError("li takes 2 operands", line_number)
+        return Instruction(
+            mnemonic,
+            dest=parse_register(operands[0]),
+            imm=_parse_immediate(operands[1], line_number),
+        )
+
+    if mnemonic == "mov":
+        if len(operands) != 2:
+            raise AssemblyError("mov takes 2 operands", line_number)
+        return Instruction(
+            mnemonic,
+            dest=parse_register(operands[0]),
+            srcs=(parse_register(operands[1]),),
+        )
+
+    if mnemonic in ("nop", "halt"):
+        if operands:
+            raise AssemblyError(f"{mnemonic} takes no operands", line_number)
+        return Instruction(mnemonic)
+
+    # Three-operand ALU forms: dest, src1, src2-or-immediate.
+    if len(operands) != 3:
+        raise AssemblyError(f"{mnemonic} takes 3 operands", line_number)
+    dest = parse_register(operands[0])
+    src1 = parse_register(operands[1])
+    if operands[2].startswith("$"):
+        return Instruction(mnemonic, dest=dest, srcs=(src1, parse_register(operands[2])))
+    imm = _parse_immediate(operands[2], line_number)
+    return Instruction(mnemonic, dest=dest, srcs=(src1,), imm=imm)

@@ -1,0 +1,48 @@
+"""Program container: a resolved sequence of static instructions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExecutionError
+from .instructions import Instruction
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions plus the label map.
+
+    Instruction addresses are instruction indices (the ISA has fixed-size
+    instructions, so this loses nothing); ``entry`` is the starting index.
+    """
+
+    instructions: list[Instruction]
+    labels: dict[str, int] = field(default_factory=dict)
+    name: str = "program"
+    entry: int = 0
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def at(self, pc: int) -> Instruction:
+        """Fetch the static instruction at instruction index ``pc``."""
+        if not 0 <= pc < len(self.instructions):
+            raise ExecutionError(f"{self.name}: PC {pc} outside program")
+        return self.instructions[pc]
+
+    def label_address(self, label: str) -> int:
+        if label not in self.labels:
+            raise ExecutionError(f"{self.name}: unknown label {label!r}")
+        return self.labels[label]
+
+    def listing(self) -> str:
+        """Human-readable disassembly with labels, for debugging and docs."""
+        by_address: dict[int, list[str]] = {}
+        for label, address in self.labels.items():
+            by_address.setdefault(address, []).append(label)
+        lines = []
+        for index, instruction in enumerate(self.instructions):
+            for label in by_address.get(index, []):
+                lines.append(f"{label}:")
+            lines.append(f"    {instruction}")
+        return "\n".join(lines)

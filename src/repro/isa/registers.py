@@ -1,0 +1,55 @@
+"""Architectural register set for the mini Alpha-flavored ISA.
+
+Integer registers are written ``$0`` … ``$31`` (``$31`` is hardwired zero, as
+on Alpha) and floating-point registers ``$f0`` … ``$f31``.  Register operands
+are represented internally as small integers: integer register *n* is *n*,
+floating-point register *n* is ``FP_BASE + n``.  This keeps dynamic pipeline
+structures free of string handling.
+"""
+
+from __future__ import annotations
+
+from ..errors import AssemblyError
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: Internal index offset for floating-point registers.
+FP_BASE = NUM_INT_REGS
+
+#: Integer register hardwired to zero (Alpha convention).
+ZERO_REG = 31
+
+TOTAL_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+
+def is_fp_register(reg: int) -> bool:
+    """True if the internal register index names a floating-point register."""
+    return reg >= FP_BASE
+
+
+def parse_register(token: str) -> int:
+    """Parse ``$n`` or ``$fn`` into an internal register index."""
+    token = token.strip()
+    if not token.startswith("$"):
+        raise AssemblyError(f"expected a register, got {token!r}")
+    body = token[1:]
+    fp = body.startswith("f") or body.startswith("F")
+    if fp:
+        body = body[1:]
+    if not body.isdigit():
+        raise AssemblyError(f"malformed register {token!r}")
+    number = int(body)
+    limit = NUM_FP_REGS if fp else NUM_INT_REGS
+    if number >= limit:
+        raise AssemblyError(f"register number out of range in {token!r}")
+    return FP_BASE + number if fp else number
+
+
+def register_name(reg: int) -> str:
+    """Render an internal register index back to assembly syntax."""
+    if not 0 <= reg < TOTAL_REGS:
+        raise ValueError(f"register index {reg} out of range")
+    if reg >= FP_BASE:
+        return f"$f{reg - FP_BASE}"
+    return f"${reg}"

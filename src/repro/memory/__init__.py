@@ -1,0 +1,23 @@
+"""Cache hierarchy substrate: caches, replacement, and the L1/L2/DRAM stack."""
+
+from .cache import Cache
+from .hierarchy import MemAccessResult, MemLevel, MemoryHierarchy
+from .replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "Cache",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "MemAccessResult",
+    "MemLevel",
+    "MemoryHierarchy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+]

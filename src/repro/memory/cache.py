@@ -1,0 +1,109 @@
+"""A set-associative cache with pluggable replacement."""
+
+from __future__ import annotations
+
+from ..config import CacheConfig
+from .replacement import ReplacementPolicy, make_policy
+
+
+class Cache:
+    """One cache level.
+
+    Tags only — the simulator never stores data in caches (the functional
+    executor owns architectural memory).  ``lookup`` probes without side
+    effects beyond recency update; ``fill`` installs a line.  ``access``
+    combines both in the usual probe-then-fill-on-miss sequence and returns
+    whether the access hit.
+    """
+
+    def __init__(self, config: CacheConfig, policy: str | ReplacementPolicy = "lru"):
+        self.config = config
+        self.num_sets = config.num_sets
+        self.assoc = config.assoc
+        self.line_shift = config.line_bytes.bit_length() - 1
+        if (1 << self.line_shift) != config.line_bytes:
+            # Non-power-of-two lines: fall back to division.
+            self.line_shift = None
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        if isinstance(policy, ReplacementPolicy):
+            self._policy = policy
+        else:
+            self._policy = make_policy(policy)
+        self.hits = 0
+        self.misses = 0
+
+    # -- address mapping ---------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        if self.line_shift is not None:
+            return address >> self.line_shift
+        return address // self.config.line_bytes
+
+    def set_index(self, address: int) -> int:
+        return self.line_address(address) % self.num_sets
+
+    def tag(self, address: int) -> int:
+        return self.line_address(address) // self.num_sets
+
+    def addresses_mapping_to_set(self, set_index: int, count: int) -> list[int]:
+        """Generate ``count`` distinct byte addresses that all map to one set.
+
+        This is the building block of the paper's Figure-2 kernel: nine
+        addresses mapping to the same set of an 8-way cache conflict-miss on
+        every access.
+        """
+        line = self.config.line_bytes
+        return [
+            (tag * self.num_sets + set_index) * line for tag in range(count)
+        ]
+
+    # -- operations ----------------------------------------------------------
+
+    def lookup(self, address: int) -> bool:
+        """Probe; on hit update recency and return True."""
+        set_index = self.set_index(address)
+        tag = self.line_address(address) // self.num_sets
+        entries = self._sets[set_index]
+        try:
+            position = entries.index(tag)
+        except ValueError:
+            self.misses += 1
+            return False
+        self._policy.on_hit(entries, position)
+        self.hits += 1
+        return True
+
+    def fill(self, address: int) -> int | None:
+        """Install the line containing ``address``; return evicted tag."""
+        set_index = self.set_index(address)
+        tag = self.line_address(address) // self.num_sets
+        entries = self._sets[set_index]
+        if tag in entries:
+            return None
+        return self._policy.on_fill(entries, tag, self.assoc)
+
+    def access(self, address: int) -> bool:
+        """Probe and fill on miss.  Returns True on hit."""
+        if self.lookup(address):
+            return True
+        self.fill(address)
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Side-effect-free membership test (no recency update, no stats)."""
+        set_index = self.set_index(address)
+        tag = self.line_address(address) // self.num_sets
+        return tag in self._sets[set_index]
+
+    def flush(self) -> None:
+        """Invalidate every line."""
+        for entries in self._sets:
+            entries.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(entries) for entries in self._sets)
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,81 @@
+"""Replacement policies for set-associative caches.
+
+A policy manages the ordering of tags within one cache set.  Sets are plain
+lists owned by the cache; the policy mutates them in place.  LRU is the
+default (and what the paper's conflict-miss attack assumes: nine addresses
+mapping to one 8-way set guarantee a miss per access under LRU).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ConfigError
+
+
+class ReplacementPolicy:
+    """Interface: decide victim ordering within one set."""
+
+    def on_hit(self, entries: list[int], index: int) -> None:
+        """Called when ``entries[index]`` hits."""
+        raise NotImplementedError
+
+    def on_fill(self, entries: list[int], tag: int, capacity: int) -> int | None:
+        """Insert ``tag``; return the evicted tag or ``None``."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used: most recent at the list tail."""
+
+    def on_hit(self, entries: list[int], index: int) -> None:
+        entries.append(entries.pop(index))
+
+    def on_fill(self, entries: list[int], tag: int, capacity: int) -> int | None:
+        victim = None
+        if len(entries) >= capacity:
+            victim = entries.pop(0)
+        entries.append(tag)
+        return victim
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out: hits do not reorder."""
+
+    def on_hit(self, entries: list[int], index: int) -> None:
+        return None
+
+    def on_fill(self, entries: list[int], tag: int, capacity: int) -> int | None:
+        victim = None
+        if len(entries) >= capacity:
+            victim = entries.pop(0)
+        entries.append(tag)
+        return victim
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Random victim selection with a seedable generator."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def on_hit(self, entries: list[int], index: int) -> None:
+        return None
+
+    def on_fill(self, entries: list[int], tag: int, capacity: int) -> int | None:
+        victim = None
+        if len(entries) >= capacity:
+            victim = entries.pop(self._rng.randrange(len(entries)))
+        entries.append(tag)
+        return victim
+
+
+def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Factory: ``lru`` (default), ``fifo``, or ``random``."""
+    if name == "lru":
+        return LRUPolicy()
+    if name == "fifo":
+        return FIFOPolicy()
+    if name == "random":
+        return RandomPolicy(seed)
+    raise ConfigError(f"unknown replacement policy {name!r}")

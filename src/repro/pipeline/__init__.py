@@ -1,0 +1,38 @@
+"""Cycle-level SMT pipeline substrate."""
+
+from .fetch import icount_select, make_fetch_selector
+from .smt import SMTCore
+from .source import UopSource
+from .thread import ThreadContext
+from .uop import (
+    OP_BRANCH,
+    OP_FALU,
+    OP_FMULT,
+    OP_IALU,
+    OP_IMULT,
+    OP_LOAD,
+    OP_NOP,
+    OP_STORE,
+    OPCLASS_LATENCY,
+    OPCLASS_NAMES,
+    Uop,
+)
+
+__all__ = [
+    "icount_select",
+    "make_fetch_selector",
+    "OP_BRANCH",
+    "OP_FALU",
+    "OP_FMULT",
+    "OP_IALU",
+    "OP_IMULT",
+    "OP_LOAD",
+    "OP_NOP",
+    "OP_STORE",
+    "OPCLASS_LATENCY",
+    "OPCLASS_NAMES",
+    "SMTCore",
+    "ThreadContext",
+    "Uop",
+    "UopSource",
+]

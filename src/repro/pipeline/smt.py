@@ -1,0 +1,393 @@
+"""Cycle-level SMT out-of-order core.
+
+The model follows the paper's SimpleScalar-derived SMT (Table 1): ICOUNT
+fetch from up to two threads per cycle, a unified 128-entry issue window
+(RUU) freed at commit, a 32-entry LSQ, 6-wide issue/commit, and the
+squash-on-L2-miss optimization ("common in commercial SMT processors") that
+keeps a thread with an outstanding L2 miss from clogging the shared window.
+
+Approximations (all standard for trace-driven SMT models, and none touching
+the phenomena the paper studies):
+
+* **Execute-at-fetch** — architectural semantics resolve at fetch; the
+  pipeline models timing only.  Mispredicted branches gate the thread's fetch
+  until resolution plus a redirect penalty instead of simulating wrong-path
+  instructions.
+* **L2-miss gating** — the "squash" is modeled by gating fetch *and* dispatch
+  of the missing thread the moment the miss is discovered (at dispatch), so
+  at most one dispatch group of younger instructions occupies the window.
+  This preserves exactly what the optimization is for: the shared RUU stays
+  available to the other thread.
+* **Stores** retire into a write buffer after address generation; their cache
+  fills happen at dispatch.
+
+Every structural access is counted per (thread, block) into cumulative
+counters (:attr:`SMTCore.access_counts`); the power accountant and the
+sedation usage monitor snapshot them at their own intervals.
+"""
+
+from __future__ import annotations
+
+from ..blocks import (
+    BPRED,
+    DCACHE,
+    FALU,
+    FMULT,
+    IALU,
+    ICACHE,
+    IMULT,
+    INT_RF,
+    FP_RF,
+    L2,
+    LSQ,
+    NUM_BLOCKS,
+    RENAME,
+    WINDOW,
+)
+from ..config import MachineConfig
+from ..errors import PipelineError
+from ..isa.registers import FP_BASE
+from ..memory import MemLevel, MemoryHierarchy
+from .fetch import make_fetch_selector
+from .source import UopSource
+from .thread import ThreadContext
+from .uop import (
+    OP_BRANCH,
+    OP_FALU,
+    OP_FMULT,
+    OP_IALU,
+    OP_IMULT,
+    OP_LOAD,
+    OP_NOP,
+    OP_STORE,
+    Uop,
+)
+
+#: opclass -> functional-resource pool index
+#: pools: 0=int ALUs (branches share), 1=int mult, 2=FP units, 3=mem ports,
+#: 4=unlimited
+_RESOURCE_OF = (0, 1, 2, 2, 3, 3, 0, 4)
+
+#: opclass -> floorplan block heated by execution (or -1)
+_EXEC_BLOCK_OF = (IALU, IMULT, FALU, FMULT, -1, -1, IALU, -1)
+
+
+class SMTCore:
+    """The SMT pipeline: fetch, dispatch, issue, complete, commit."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        sources: list[UopSource],
+        hierarchy: MemoryHierarchy | None = None,
+    ) -> None:
+        if len(sources) != config.num_threads:
+            raise PipelineError(
+                f"need {config.num_threads} uop sources, got {len(sources)}"
+            )
+        self.config = config
+        self.hierarchy = hierarchy or MemoryHierarchy(config)
+        self.threads = [ThreadContext(i, src) for i, src in enumerate(sources)]
+        self.cycle = 0
+        self.window_used = 0
+        self.lsq_used = 0
+        self.ready: list[Uop] = []
+        self._wheel: dict[int, list[Uop]] = {}
+        self._select = make_fetch_selector(config.fetch_policy)
+        #: cumulative per-thread per-block access counts
+        self.access_counts = [[0] * NUM_BLOCKS for _ in range(config.num_threads)]
+        self._l1i_line_bytes = config.l1i.line_bytes
+        self._window_cap = (
+            config.ruu_size // config.num_threads
+            if config.ruu_partitioned
+            else config.ruu_size
+        )
+        self._fu_limits = (
+            config.int_alus,
+            config.int_mults,
+            config.fp_alus,
+            config.mem_ports,
+            1 << 30,
+        )
+
+    # -- external control (DTM hooks) ---------------------------------------
+
+    def set_sedated(self, tid: int, sedated: bool) -> None:
+        """Sedate (stop fetching) or release one thread."""
+        self.threads[tid].sedated = sedated
+
+    def set_throttled(self, tid: int, modulus: int) -> None:
+        """Throttle one thread's fetch to 1-in-``modulus`` cycles (0 = off)."""
+        if modulus < 0:
+            raise PipelineError("throttle modulus must be >= 0")
+        self.threads[tid].throttle_modulus = modulus
+
+    def sedated_threads(self) -> list[int]:
+        return [t.tid for t in self.threads if t.sedated]
+
+    def all_halted(self) -> bool:
+        return all(t.halted for t in self.threads)
+
+    # -- main loop -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the pipeline by one cycle."""
+        cycle = self.cycle
+        finishing = self._wheel.pop(cycle, None)
+        if finishing:
+            for uop in finishing:
+                self._complete(uop, cycle)
+        self._commit()
+        self._issue(cycle)
+        self._dispatch(cycle)
+        self._fetch(cycle)
+        self.cycle = cycle + 1
+
+    def run_cycles(self, n: int) -> None:
+        """Step ``n`` cycles (convenience for tests and examples)."""
+        step = self.step
+        for _ in range(n):
+            step()
+
+    def skip_cycles(self, n: int) -> None:
+        """Advance the clock without pipeline activity (global stall).
+
+        In-flight operations do not progress during a global stall — the
+        whole core is clock-gated, which is what stop-and-go means.  The
+        completion wheel is shifted wholesale.
+        """
+        if n <= 0:
+            return
+        if self._wheel:
+            self._wheel = {when + n: uops for when, uops in self._wheel.items()}
+        self.cycle += n
+
+    # -- stages --------------------------------------------------------------
+
+    def _fetch(self, cycle: int) -> None:
+        """ICOUNT2.N priority fetch: the selected threads are ordered by the
+        policy (lowest icount first under ICOUNT) and the highest-priority
+        thread may consume the whole fetch width; lower-priority threads get
+        the leftovers.  This is what lets a high-IPC thread monopolize fetch
+        bandwidth under ICOUNT (the paper's variant1 side effect)."""
+        config = self.config
+        max_queue = config.fetch_queue_size
+        runnable = [
+            t
+            for t in self.threads
+            if t.can_fetch(cycle) and len(t.fetch_queue) < max_queue
+        ]
+        if not runnable:
+            return
+        selected = self._select(runnable, config.fetch_threads_per_cycle)
+        budget = config.fetch_width
+        decode_ready = cycle + config.decode_latency
+        for thread in selected:
+            if budget <= 0:
+                break
+            budget -= self._fetch_thread(thread, budget, cycle, decode_ready)
+
+    def _fetch_thread(
+        self, thread: ThreadContext, budget: int, cycle: int, decode_ready: int
+    ) -> int:
+        """Fetch up to ``budget`` uops for one thread; returns the number
+        fetched (a fetch block ends at a taken branch, a mispredicted
+        branch, an I-cache miss, or queue/budget exhaustion)."""
+        counts = self.access_counts[thread.tid]
+        counts[ICACHE] += 1
+        source = thread.source
+        queue = thread.fetch_queue
+        line_bytes = self._l1i_line_bytes
+        budget = min(budget, self.config.fetch_queue_size - len(queue))
+        fetched = 0
+        for _ in range(budget):
+            pc = source.peek_pc()
+            if pc < 0:
+                thread.halted = True
+                return fetched
+            line = pc // line_bytes
+            if line != thread.last_fetch_line:
+                result = self.hierarchy.access_instruction(pc)
+                if result.level is not MemLevel.L1:
+                    counts[L2] += 1
+                    thread.fetch_blocked_until = cycle + result.latency
+                    thread.last_fetch_line = line
+                    return fetched
+                thread.last_fetch_line = line
+            uop = source.next_uop()
+            if uop is None:
+                thread.halted = True
+                return fetched
+            uop.seq = thread.seq_counter
+            thread.seq_counter += 1
+            queue.append((decode_ready, uop))
+            thread.icount += 1
+            thread.fetched += 1
+            fetched += 1
+            if uop.opclass == OP_BRANCH:
+                counts[BPRED] += 1
+                if uop.mispredict:
+                    thread.mispredict_gate = uop
+                    return fetched
+            if uop.taken:
+                return fetched
+        return fetched
+
+    def _dispatch(self, cycle: int) -> None:
+        config = self.config
+        budget = config.issue_width
+        ruu_size = config.ruu_size
+        lsq_size = config.lsq_size
+        threads = self.threads
+        offset = cycle % len(threads)
+        for i in range(len(threads)):
+            thread = threads[(i + offset) % len(threads)]
+            if thread.miss_block is not None:
+                continue
+            queue = thread.fetch_queue
+            while budget > 0 and queue:
+                ready_cycle, uop = queue[0]
+                if ready_cycle > cycle or self.window_used >= ruu_size:
+                    break
+                if len(thread.rob) >= self._window_cap:
+                    break
+                if uop.is_mem and self.lsq_used >= lsq_size:
+                    break
+                queue.popleft()
+                self._dispatch_uop(uop, thread)
+                budget -= 1
+                if thread.miss_block is not None:
+                    break
+            if budget == 0:
+                return
+
+    def _dispatch_uop(self, uop: Uop, thread: ThreadContext) -> None:
+        counts = self.access_counts[thread.tid]
+        counts[RENAME] += 1
+        counts[WINDOW] += 1
+        self.window_used += 1
+        uop.in_window = True
+
+        writer_table = thread.writer_table
+        for src in uop.srcs:
+            producer = writer_table[src]
+            if producer is not None and not producer.done:
+                if producer.consumers is None:
+                    producer.consumers = [uop]
+                else:
+                    producer.consumers.append(uop)
+                uop.deps += 1
+        if uop.dest >= 0:
+            writer_table[uop.dest] = uop
+
+        if uop.is_mem:
+            self.lsq_used += 1
+            thread.mem_ops_in_flight += 1
+            counts[LSQ] += 1
+            counts[DCACHE] += 1
+            is_store = uop.opclass == OP_STORE
+            result = self.hierarchy.access_data(uop.address, is_store)
+            if result.level is not MemLevel.L1:
+                counts[L2] += 1
+            if is_store:
+                uop.latency = 1
+            else:
+                uop.latency = result.latency
+                if result.is_l2_miss and self.config.squash_on_l2_miss:
+                    thread.miss_block = uop
+
+        thread.rob.append(uop)
+        if uop.deps == 0:
+            self.ready.append(uop)
+
+    def _issue(self, cycle: int) -> None:
+        ready = self.ready
+        if not ready:
+            return
+        budget = self.config.issue_width
+        fu_left = list(self._fu_limits)
+        wheel = self._wheel
+        counts_by_thread = self.access_counts
+        leftover: list[Uop] = []
+        for index, uop in enumerate(ready):
+            resource = _RESOURCE_OF[uop.opclass]
+            if fu_left[resource] <= 0:
+                leftover.append(uop)
+                continue
+            fu_left[resource] -= 1
+            budget -= 1
+            counts = counts_by_thread[uop.thread]
+            for src in uop.srcs:
+                counts[FP_RF if src >= FP_BASE else INT_RF] += 1
+            counts[WINDOW] += 1
+            exec_block = _EXEC_BLOCK_OF[uop.opclass]
+            if exec_block >= 0:
+                counts[exec_block] += 1
+            if uop.is_mem:
+                counts[LSQ] += 1
+            uop.issued = True
+            when = cycle + uop.latency
+            bucket = wheel.get(when)
+            if bucket is None:
+                wheel[when] = [uop]
+            else:
+                bucket.append(uop)
+            if budget == 0:
+                leftover.extend(ready[index + 1 :])
+                break
+        self.ready = leftover
+
+    def _complete(self, uop: Uop, cycle: int) -> None:
+        uop.done = True
+        if uop.dest >= 0:
+            self.access_counts[uop.thread][
+                FP_RF if uop.dest >= FP_BASE else INT_RF
+            ] += 1
+        consumers = uop.consumers
+        if consumers:
+            ready = self.ready
+            for consumer in consumers:
+                consumer.deps -= 1
+                if consumer.deps == 0 and consumer.in_window and not consumer.issued:
+                    ready.append(consumer)
+            uop.consumers = None
+        thread = self.threads[uop.thread]
+        if thread.miss_block is uop:
+            thread.miss_block = None
+        if thread.mispredict_gate is uop:
+            thread.mispredict_gate = None
+            penalty = self.config.branch_mispredict_penalty
+            resume = cycle + 1 + penalty
+            if resume > thread.fetch_blocked_until:
+                thread.fetch_blocked_until = resume
+
+    def _commit(self) -> None:
+        budget = self.config.commit_width
+        threads = self.threads
+        while budget > 0:
+            progressed = False
+            for thread in threads:
+                rob = thread.rob
+                if rob and rob[0].done:
+                    uop = rob.popleft()
+                    uop.in_window = False
+                    self.window_used -= 1
+                    thread.icount -= 1
+                    thread.committed += 1
+                    if uop.is_mem:
+                        self.lsq_used -= 1
+                        thread.mem_ops_in_flight -= 1
+                    budget -= 1
+                    progressed = True
+                    if budget == 0:
+                        break
+            if not progressed:
+                return
+
+    # -- introspection --------------------------------------------------------
+
+    def total_committed(self) -> int:
+        return sum(t.committed for t in self.threads)
+
+    def thread_ipc(self, tid: int) -> float:
+        return self.threads[tid].ipc(self.cycle)

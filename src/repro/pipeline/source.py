@@ -1,0 +1,26 @@
+"""Interface between workloads and the pipeline front end."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from .uop import Uop
+
+
+@runtime_checkable
+class UopSource(Protocol):
+    """A stream of decoded micro-ops for one hardware context.
+
+    ``peek_pc`` must return the byte address of the next instruction *without*
+    consuming it (fetch uses it to model I-cache timing before committing to
+    the fetch), and ``next_uop`` consumes and returns the instruction, or
+    ``None`` when the program has halted.
+    """
+
+    def peek_pc(self) -> int:
+        """Byte address of the next instruction to be fetched."""
+        ...
+
+    def next_uop(self) -> Uop | None:
+        """Consume and return the next micro-op (``None`` once halted)."""
+        ...

@@ -1,0 +1,94 @@
+"""Per-context state of the SMT pipeline."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..isa.registers import TOTAL_REGS
+from .source import UopSource
+from .uop import Uop
+
+
+class ThreadContext:
+    """One hardware thread: front-end state, ROB, and run-state flags.
+
+    Run-state flags and what sets them:
+
+    * ``sedated`` — selective sedation stops fetching from this thread
+      (:mod:`repro.core.sedation`).
+    * ``fetch_blocked_until`` — transient front-end stalls: I-cache miss
+      refill or the post-misprediction redirect bubble.
+    * ``mispredict_gate`` — a mispredicted branch in flight; fetch resumes
+      (after the redirect penalty) when it resolves.
+    * ``miss_block`` — an outstanding L2-missing load; the paper's
+      squash-on-L2-miss optimization gates fetch and dispatch so the thread
+      cannot clog the shared issue queue.
+    * ``throttle_modulus`` — throttled sedation (an ablation of the paper's
+      full fetch gate): when nonzero, the thread may fetch only on cycles
+      divisible by the modulus.
+    """
+
+    __slots__ = (
+        "tid",
+        "source",
+        "fetch_queue",
+        "rob",
+        "writer_table",
+        "icount",
+        "sedated",
+        "throttle_modulus",
+        "fetch_blocked_until",
+        "mispredict_gate",
+        "miss_block",
+        "halted",
+        "fetched",
+        "committed",
+        "mem_ops_in_flight",
+        "last_fetch_line",
+        "cycles_normal",
+        "cycles_cooling",
+        "cycles_sedated",
+        "cycles_mem_blocked",
+        "seq_counter",
+    )
+
+    def __init__(self, tid: int, source: UopSource) -> None:
+        self.tid = tid
+        self.source = source
+        self.fetch_queue: deque[tuple[int, Uop]] = deque()
+        self.rob: deque[Uop] = deque()
+        self.writer_table: list[Uop | None] = [None] * TOTAL_REGS
+        self.icount = 0
+        self.sedated = False
+        self.throttle_modulus = 0
+        self.fetch_blocked_until = 0
+        self.mispredict_gate: Uop | None = None
+        self.miss_block: Uop | None = None
+        self.halted = False
+        self.fetched = 0
+        self.committed = 0
+        self.mem_ops_in_flight = 0
+        self.last_fetch_line = -1
+        self.cycles_normal = 0
+        self.cycles_cooling = 0
+        self.cycles_sedated = 0
+        self.cycles_mem_blocked = 0
+        self.seq_counter = 0
+
+    def can_fetch(self, cycle: int) -> bool:
+        """True when the front end may fetch for this thread this cycle."""
+        if self.throttle_modulus and cycle % self.throttle_modulus:
+            return False
+        return not (
+            self.halted
+            or self.sedated
+            or self.miss_block is not None
+            or self.mispredict_gate is not None
+            or cycle < self.fetch_blocked_until
+        )
+
+    def ipc(self, cycles: int) -> float:
+        """Committed instructions per cycle over ``cycles``."""
+        if cycles <= 0:
+            return 0.0
+        return self.committed / cycles

@@ -1,0 +1,112 @@
+"""Dynamic micro-op: the unit flowing through the SMT pipeline.
+
+Workload sources allocate one :class:`Uop` per fetched instruction and fill
+in the *static* fields; the pipeline fills the *scheduling* fields.  Opcode
+classes are small integers (not enums) because this is the simulator's hottest
+data structure.
+"""
+
+from __future__ import annotations
+
+# Opclass codes (order matters: indexes into latency/FU tables).
+OP_IALU = 0
+OP_IMULT = 1
+OP_FALU = 2
+OP_FMULT = 3
+OP_LOAD = 4
+OP_STORE = 5
+OP_BRANCH = 6
+OP_NOP = 7
+
+NUM_OPCLASSES = 8
+
+OPCLASS_NAMES = ("ialu", "imult", "falu", "fmult", "load", "store", "branch", "nop")
+
+#: Default execution latency per opclass (loads are overridden by the cache).
+OPCLASS_LATENCY = (1, 3, 2, 4, 1, 1, 1, 1)
+
+#: Map from the ISA's OpClass enum values to the integer codes above.
+ISA_CLASS_CODE = {
+    "ialu": OP_IALU,
+    "imult": OP_IMULT,
+    "falu": OP_FALU,
+    "fmult": OP_FMULT,
+    "load": OP_LOAD,
+    "store": OP_STORE,
+    "branch": OP_BRANCH,
+    "nop": OP_NOP,
+}
+
+
+class Uop:
+    """One dynamic instruction.
+
+    Static fields (set by the workload source):
+
+    * ``thread`` — hardware context id.
+    * ``pc`` — byte address of the instruction (used for I-cache timing).
+    * ``opclass`` — one of the ``OP_*`` codes.
+    * ``dest`` — destination architectural register (internal index) or -1.
+    * ``srcs`` — tuple of source architectural registers.
+    * ``address`` — effective byte address for loads/stores, else -1.
+    * ``taken`` — for branches, whether the branch is taken (ends the fetch
+      block).
+    * ``mispredict`` — for branches, whether the front end mispredicts it
+      (gates fetch until resolution).
+
+    Scheduling fields (owned by the pipeline): ``deps``, ``consumers``,
+    ``latency``, ``done``, ``issued``, ``in_window``, ``seq``.
+    """
+
+    __slots__ = (
+        "thread",
+        "pc",
+        "opclass",
+        "dest",
+        "srcs",
+        "address",
+        "taken",
+        "mispredict",
+        "seq",
+        "latency",
+        "deps",
+        "consumers",
+        "done",
+        "issued",
+        "in_window",
+        "is_mem",
+    )
+
+    def __init__(
+        self,
+        thread: int,
+        pc: int,
+        opclass: int,
+        dest: int = -1,
+        srcs: tuple[int, ...] = (),
+        address: int = -1,
+        taken: bool = False,
+        mispredict: bool = False,
+    ) -> None:
+        self.thread = thread
+        self.pc = pc
+        self.opclass = opclass
+        self.dest = dest
+        self.srcs = srcs
+        self.address = address
+        self.taken = taken
+        self.mispredict = mispredict
+        self.seq = 0
+        self.latency = OPCLASS_LATENCY[opclass]
+        self.deps = 0
+        self.consumers: list[Uop] | None = None
+        self.done = False
+        self.issued = False
+        self.in_window = False
+        self.is_mem = opclass == OP_LOAD or opclass == OP_STORE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Uop(t{self.thread} seq={self.seq} {OPCLASS_NAMES[self.opclass]} "
+            f"pc={self.pc:#x} dest={self.dest} srcs={self.srcs})"
+        )

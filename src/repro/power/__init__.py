@@ -1,0 +1,17 @@
+"""Activity-based power model (Wattch-style) and per-interval accounting."""
+
+from .accounting import PowerAccountant
+from .energy import (
+    DEFAULT_ENERGY_NJ,
+    DEFAULT_LEAKAGE_W,
+    DEFAULT_OTHER_POWER_W,
+    EnergyModel,
+)
+
+__all__ = [
+    "DEFAULT_ENERGY_NJ",
+    "DEFAULT_LEAKAGE_W",
+    "DEFAULT_OTHER_POWER_W",
+    "EnergyModel",
+    "PowerAccountant",
+]

@@ -1,0 +1,81 @@
+"""Per-interval power accounting over the pipeline's access counters.
+
+The :class:`PowerAccountant` snapshots the core's cumulative per-thread,
+per-block access counts and converts deltas into block powers (watts).  Two
+independent consumers read the same counters at different rates — this
+accountant (at the thermal sensor interval) and the sedation usage monitor
+(at the access-rate sample interval) — so the counters themselves stay
+cumulative and each consumer keeps its own snapshot.
+"""
+
+from __future__ import annotations
+
+from ..blocks import NUM_BLOCKS
+from ..errors import SimulationError
+from ..pipeline.smt import SMTCore
+from .energy import EnergyModel
+
+
+class PowerAccountant:
+    """Converts access-count deltas into per-block power."""
+
+    def __init__(self, core: SMTCore, energy: EnergyModel, frequency_hz: float):
+        self.core = core
+        self.energy = energy
+        self.frequency_hz = frequency_hz
+        self._last_cycle = core.cycle
+        self._last_counts = [list(counts) for counts in core.access_counts]
+        #: Cumulative dynamic energy per thread (J), for attribution stats.
+        self.thread_energy_j = [0.0] * len(core.threads)
+
+    def block_powers(self, dynamic_scale: float = 1.0) -> list[float]:
+        """Per-block power (W) averaged since the previous call.
+
+        ``dynamic_scale`` multiplies dynamic (per-access) energy only — the
+        DVFS policy uses it to apply its V² factor.  Also advances the
+        snapshot.  Raises if called twice in the same cycle (zero-length
+        interval).
+        """
+        cycle = self.core.cycle
+        interval = cycle - self._last_cycle
+        if interval <= 0:
+            raise SimulationError("power interval must span at least one cycle")
+        seconds = interval / self.frequency_hz
+        if dynamic_scale != 1.0:
+            energy_j = tuple(e * dynamic_scale for e in self.energy.energy_j)
+        else:
+            energy_j = self.energy.energy_j
+        leakage_w = self.energy.leakage_w
+        powers = list(leakage_w)
+        for tid, counts in enumerate(self.core.access_counts):
+            last = self._last_counts[tid]
+            thread_joules = 0.0
+            for block in range(NUM_BLOCKS):
+                delta = counts[block] - last[block]
+                if delta:
+                    joules = delta * energy_j[block]
+                    powers[block] += joules / seconds
+                    thread_joules += joules
+                last[block] = counts[block]
+            self.thread_energy_j[tid] += thread_joules
+        self._last_cycle = cycle
+        return powers
+
+    def idle_powers(self, cycles_skipped: int) -> list[float]:
+        """Per-block power during a global stall (leakage only).
+
+        Advances the snapshot cycle so the next active interval is measured
+        correctly.
+        """
+        if cycles_skipped < 0:
+            raise SimulationError("cannot skip a negative interval")
+        self._last_cycle += cycles_skipped
+        return list(self.energy.leakage_w)
+
+    @property
+    def other_power_w(self) -> float:
+        """Un-modeled chip power (clock tree, uncore) heating the package."""
+        return self.energy.other_power_w
+
+    def total_chip_power(self, block_powers: list[float]) -> float:
+        return sum(block_powers) + self.energy.other_power_w

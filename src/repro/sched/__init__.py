@@ -1,0 +1,22 @@
+"""OS-level scheduling substrate for the paper's §3.3 experiments."""
+
+from .job import Job, PhaseAwareJob, make_job
+from .machine import QuantumOutcome, SMTMachine
+from .schedulers import (
+    RoundRobinScheduler,
+    ScheduleReport,
+    SedationAwareScheduler,
+    SymbioticScheduler,
+)
+
+__all__ = [
+    "Job",
+    "make_job",
+    "PhaseAwareJob",
+    "QuantumOutcome",
+    "RoundRobinScheduler",
+    "ScheduleReport",
+    "SedationAwareScheduler",
+    "SMTMachine",
+    "SymbioticScheduler",
+]

@@ -1,0 +1,78 @@
+"""Jobs: schedulable entities for the OS-level experiments (paper §3.3).
+
+A job names a workload (or several, for phase-aware malicious jobs) and
+accumulates progress across quanta.  The paper's §3.3 argues that
+SMT-aware OS schedulers cannot stop heat stroke because a *deliberate*
+attacker adapts to the scheduler's observation windows; the
+:class:`PhaseAwareJob` models exactly that adversary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import WorkloadError
+
+
+@dataclass
+class Job:
+    """One schedulable program."""
+
+    name: str
+    workload: str
+    priority: int = 1
+    committed: int = 0
+    quanta_run: int = 0
+    solo_quanta: int = 0
+    marked_malicious: bool = False
+
+    def workload_for(self, monitored: bool) -> str:
+        """The workload this job runs during the next quantum.
+
+        ``monitored`` tells the job whether the scheduler is currently in an
+        observation phase (honest schedulers do not leak this; the paper's
+        point is that fixed-length monitoring phases *do* leak it).
+        """
+        return self.workload
+
+    def record(self, committed: int, solo: bool) -> None:
+        self.committed += committed
+        self.quanta_run += 1
+        if solo:
+            self.solo_quanta += 1
+
+    @property
+    def progress_per_quantum(self) -> float:
+        if self.quanta_run == 0:
+            return 0.0
+        return self.committed / self.quanta_run
+
+
+@dataclass
+class PhaseAwareJob(Job):
+    """The paper's scheduler-evading attacker (§3.3, strategy 3).
+
+    "If the duration of the monitored and non-monitored periods are fixed
+    then a malicious thread may easily behave as a normal thread during the
+    monitoring periods and launch repeated heat-stroke attacks during the
+    non-monitored periods."
+
+    ``benign_workload`` is what it runs while being watched;
+    ``attack_workload`` is what it runs otherwise.
+    """
+
+    benign_workload: str = "gcc"
+    attack_workload: str = "variant2"
+    attacks_launched: int = field(default=0)
+
+    def workload_for(self, monitored: bool) -> str:
+        if monitored:
+            return self.benign_workload
+        self.attacks_launched += 1
+        return self.attack_workload
+
+
+def make_job(name: str, workload: str | None = None, **kwargs) -> Job:
+    if not name:
+        raise WorkloadError("job needs a name")
+    return Job(name=name, workload=workload or name, **kwargs)

@@ -1,0 +1,83 @@
+"""The scheduler's view of the SMT machine: run one quantum, report back.
+
+Each quantum builds a fresh simulator for the chosen job set (quantum
+boundaries flush microarchitectural state on real machines too; the thermal
+network warm-starts at the typical-load operating point, per the paper's
+methodology of measuring long-running systems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SimulationConfig
+from ..errors import SimulationError
+from ..isa.assembler import assemble
+from ..sim.simulator import Simulator
+from ..workloads.program_source import ProgramSource
+from ..workloads.registry import make_source
+from .job import Job
+
+
+@dataclass(frozen=True)
+class QuantumOutcome:
+    """What the OS learns from one quantum."""
+
+    jobs: tuple[str, ...]
+    committed: tuple[int, ...]
+    ipc: tuple[float, ...]
+    emergencies: int
+    sedation_counts: dict[int, int] = field(default_factory=dict)
+    sedated_fractions: tuple[float, ...] = ()
+
+    @property
+    def throughput(self) -> int:
+        return sum(self.committed)
+
+
+class SMTMachine:
+    """Runs quanta for the scheduler."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.quanta_executed = 0
+
+    def run_quantum(
+        self, jobs: list[Job], monitored: bool = False
+    ) -> QuantumOutcome:
+        """Co-schedule ``jobs`` (padding with an idle context) for a quantum."""
+        slots = self.config.machine.num_threads
+        if not 0 < len(jobs) <= slots:
+            raise SimulationError(
+                f"need 1..{slots} jobs per quantum, got {len(jobs)}"
+            )
+        workloads = [job.workload_for(monitored) for job in jobs]
+        sources = [
+            make_source(name, tid, self.config.machine, self.config.thermal,
+                        self.config.seed + self.quanta_executed)
+            for tid, name in enumerate(workloads)
+        ]
+        labels = list(workloads)
+        while len(sources) < slots:
+            sources.append(ProgramSource(assemble("halt", name="idle"), len(sources)))
+            labels.append("idle")
+
+        simulator = Simulator(self.config, workloads=labels, sources=sources)
+        result = simulator.run()
+        self.quanta_executed += 1
+
+        solo = len(jobs) == 1
+        for tid, job in enumerate(jobs):
+            job.record(result.threads[tid].committed, solo=solo)
+        return QuantumOutcome(
+            jobs=tuple(job.name for job in jobs),
+            committed=tuple(
+                result.threads[tid].committed for tid in range(len(jobs))
+            ),
+            ipc=tuple(result.threads[tid].ipc for tid in range(len(jobs))),
+            emergencies=result.emergencies,
+            sedation_counts=simulator.reports.sedation_counts_by_thread(),
+            sedated_fractions=tuple(
+                result.threads[tid].sedated_fraction for tid in range(len(jobs))
+            ),
+        )

@@ -1,0 +1,222 @@
+"""OS schedulers for the §3.3 experiments.
+
+Three schedulers:
+
+* :class:`RoundRobinScheduler` — a plain fairness scheduler: rotate through
+  all pairings, never reason about compatibility or maliciousness.
+* :class:`SymbioticScheduler` — a model of the SMT-aware scheduler the paper
+  cites ([13], Snavely-style): alternate a *monitoring* phase (sample
+  pairings, measure throughput) with a longer *committed* phase running the
+  best-observed pairing.  Its weakness is exactly what the paper describes:
+  the phase boundary is observable, so a phase-aware attacker behaves during
+  monitoring and attacks during the committed phase.
+* :class:`SedationAwareScheduler` — the paper's fix: run the hardware with
+  selective sedation, consume the OS offender reports, and stop
+  co-scheduling a job once it has been reported often enough.
+
+All of them drive :class:`~repro.sched.machine.SMTMachine` one quantum at a
+time and produce a :class:`ScheduleReport`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..config import SimulationConfig
+from ..errors import SimulationError
+from .job import Job
+from .machine import QuantumOutcome, SMTMachine
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of a scheduling experiment."""
+
+    scheduler: str
+    quanta: int
+    jobs: list[Job]
+    outcomes: list[QuantumOutcome] = field(default_factory=list)
+
+    @property
+    def total_committed(self) -> int:
+        return sum(job.committed for job in self.jobs)
+
+    @property
+    def throughput_per_quantum(self) -> float:
+        if self.quanta == 0:
+            return 0.0
+        return self.total_committed / self.quanta
+
+    def committed_of(self, name: str) -> int:
+        for job in self.jobs:
+            if job.name == name:
+                return job.committed
+        raise SimulationError(f"no job named {name!r}")
+
+    @property
+    def benign_committed(self) -> int:
+        return sum(j.committed for j in self.jobs if not isinstance_attacker(j))
+
+    def summary(self) -> str:
+        lines = [f"{self.scheduler}: {self.quanta} quanta, "
+                 f"throughput {self.throughput_per_quantum:,.0f} instr/quantum"]
+        for job in self.jobs:
+            tag = " [MARKED MALICIOUS]" if job.marked_malicious else ""
+            lines.append(
+                f"  {job.name:10s} committed={job.committed:>10,} "
+                f"quanta={job.quanta_run} solo={job.solo_quanta}{tag}"
+            )
+        return "\n".join(lines)
+
+
+def isinstance_attacker(job: Job) -> bool:
+    """True for jobs with distinct benign/attack phases (PhaseAwareJob)."""
+    return getattr(job, "attack_workload", None) is not None
+
+
+class RoundRobinScheduler:
+    """Rotate through all pairings; no intelligence at all."""
+
+    name = "round_robin"
+
+    def __init__(self, config: SimulationConfig, jobs: list[Job]):
+        if len(jobs) < 2:
+            raise SimulationError("need at least two jobs")
+        self.machine = SMTMachine(config)
+        self.jobs = jobs
+        self._pairings = list(itertools.combinations(range(len(jobs)), 2))
+
+    def run(self, quanta: int) -> ScheduleReport:
+        report = ScheduleReport(self.name, quanta, self.jobs)
+        for index in range(quanta):
+            a, b = self._pairings[index % len(self._pairings)]
+            outcome = self.machine.run_quantum([self.jobs[a], self.jobs[b]])
+            report.outcomes.append(outcome)
+        return report
+
+
+class SymbioticScheduler:
+    """Monitoring/committed phases with observable boundaries (paper §3.3).
+
+    During each monitoring window the scheduler samples every pairing once
+    (jobs see ``monitored=True``); it then commits to the highest-throughput
+    pairing for ``commit_quanta`` (jobs see ``monitored=False``).  A
+    phase-aware attacker games exactly this structure.
+    """
+
+    name = "symbiotic"
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        jobs: list[Job],
+        commit_quanta: int = 6,
+    ):
+        if len(jobs) < 2:
+            raise SimulationError("need at least two jobs")
+        self.machine = SMTMachine(config)
+        self.jobs = jobs
+        self.commit_quanta = commit_quanta
+        self._pairings = list(itertools.combinations(range(len(jobs)), 2))
+
+    def run(self, quanta: int) -> ScheduleReport:
+        report = ScheduleReport(self.name, quanta, self.jobs)
+        remaining = quanta
+        while remaining > 0:
+            # Monitoring phase: sample each pairing once.
+            scores: list[tuple[int, tuple[int, int]]] = []
+            for pairing in self._pairings:
+                if remaining == 0:
+                    break
+                a, b = pairing
+                outcome = self.machine.run_quantum(
+                    [self.jobs[a], self.jobs[b]], monitored=True
+                )
+                report.outcomes.append(outcome)
+                scores.append((outcome.throughput, pairing))
+                remaining -= 1
+            if remaining == 0 or not scores:
+                break
+            # Committed phase: run the best-looking pairing unmonitored.
+            _, (a, b) = max(scores)
+            for _ in range(min(self.commit_quanta, remaining)):
+                outcome = self.machine.run_quantum(
+                    [self.jobs[a], self.jobs[b]], monitored=False
+                )
+                report.outcomes.append(outcome)
+                remaining -= 1
+        return report
+
+
+class SedationAwareScheduler:
+    """Round-robin pairing, hardware sedation, and report-driven eviction.
+
+    Jobs are marked malicious and excluded from co-scheduling (the paper:
+    "the scheduler may mark such threads ineligible for execution") once
+    their *average sedated time fraction* exceeds ``sedated_threshold``
+    over at least ``min_quanta`` observed quanta.  Time-in-sedation is the
+    separating signal: a hot-but-honest benchmark is sedated briefly and
+    occasionally (it cools the resource it heated), while a heat-stroke
+    attacker stays pinned in sedation for most of every quantum.
+    """
+
+    name = "sedation_aware"
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        jobs: list[Job],
+        sedated_threshold: float = 0.3,
+        min_quanta: int = 2,
+    ):
+        if len(jobs) < 2:
+            raise SimulationError("need at least two jobs")
+        self.machine = SMTMachine(config.with_policy("sedation"))
+        self.jobs = jobs
+        self.sedated_threshold = sedated_threshold
+        self.min_quanta = min_quanta
+        self._report_tally = {job.name: 0 for job in jobs}
+        self._sedated_time = {job.name: 0.0 for job in jobs}
+        self._observed = {job.name: 0 for job in jobs}
+
+    def _eligible(self) -> list[Job]:
+        return [job for job in self.jobs if not job.marked_malicious]
+
+    def run(self, quanta: int) -> ScheduleReport:
+        report = ScheduleReport(self.name, quanta, self.jobs)
+        rotation = 0
+        for _ in range(quanta):
+            eligible = self._eligible()
+            if not eligible:
+                break
+            if len(eligible) == 1:
+                chosen = [eligible[0]]
+            else:
+                first = eligible[rotation % len(eligible)]
+                second = eligible[(rotation + 1) % len(eligible)]
+                chosen = [first, second]
+                rotation += 1
+            outcome = self.machine.run_quantum(chosen, monitored=False)
+            report.outcomes.append(outcome)
+            for tid, count in outcome.sedation_counts.items():
+                if tid < len(chosen):
+                    self._report_tally[chosen[tid].name] += count
+            for tid, job in enumerate(chosen):
+                self._sedated_time[job.name] += outcome.sedated_fractions[tid]
+                self._observed[job.name] += 1
+                observed = self._observed[job.name]
+                if observed >= self.min_quanta:
+                    mean = self._sedated_time[job.name] / observed
+                    if mean >= self.sedated_threshold:
+                        job.marked_malicious = True
+        return report
+
+    def report_tally(self) -> dict[str, int]:
+        return dict(self._report_tally)
+
+    def sedated_fraction_of(self, name: str) -> float:
+        observed = self._observed.get(name, 0)
+        if not observed:
+            return 0.0
+        return self._sedated_time[name] / observed

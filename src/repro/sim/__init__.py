@@ -1,0 +1,17 @@
+"""Simulation driver: co-simulator, experiment harness, and statistics."""
+
+from .campaign import CampaignResult, QuantumRecord, run_campaign
+from .experiment import ExperimentRunner
+from .simulator import Simulator, run_workloads
+from .stats import RunResult, ThreadStats
+
+__all__ = [
+    "CampaignResult",
+    "ExperimentRunner",
+    "RunResult",
+    "run_workloads",
+    "QuantumRecord",
+    "run_campaign",
+    "Simulator",
+    "ThreadStats",
+]

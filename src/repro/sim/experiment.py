@@ -1,0 +1,100 @@
+"""Experiment harness: the paper's standard run shapes.
+
+Every figure in §5 is built from three run shapes:
+
+* a benchmark running **solo** (ideal or realistic sink);
+* a benchmark **paired with a malicious variant** (ideal sink, realistic sink
+  under stop-and-go, realistic sink under selective sedation);
+* a benchmark **paired with another benchmark** (the false-positive check).
+
+:class:`ExperimentRunner` provides those shapes plus a generic labeled sweep,
+with one shared base configuration so Table-1 parameters stay consistent
+across a whole experiment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..config import SimulationConfig, scaled_config
+from .simulator import Simulator
+from .stats import RunResult
+
+
+class ExperimentRunner:
+    """Runs labeled simulations against one base configuration."""
+
+    def __init__(self, base_config: SimulationConfig | None = None) -> None:
+        self.base = base_config or scaled_config()
+        self.results: dict[str, RunResult] = {}
+
+    # -- run shapes ---------------------------------------------------------
+
+    def run(
+        self,
+        label: str,
+        workloads: list[str],
+        config: SimulationConfig | None = None,
+    ) -> RunResult:
+        """Run one labeled simulation (memoized by label)."""
+        if label in self.results:
+            return self.results[label]
+        simulator = Simulator(config or self.base, workloads=workloads)
+        result = simulator.run()
+        self.results[label] = result
+        return result
+
+    def solo(
+        self, benchmark: str, policy: str = "stop_and_go", ideal_sink: bool = False
+    ) -> RunResult:
+        """A benchmark alone: the second context runs nothing.
+
+        SMT with a single active thread is modeled by pairing the benchmark
+        with an immediately-halting idle context.
+        """
+        config = self._configure(policy, ideal_sink)
+        label = f"{benchmark}|solo|{config.dtm_policy}|{int(ideal_sink)}"
+        if label in self.results:
+            return self.results[label]
+        from ..isa.assembler import assemble
+        from ..workloads.program_source import ProgramSource
+        from ..workloads.registry import make_source
+
+        sources = [
+            make_source(benchmark, 0, config.machine, config.thermal, self.base.seed),
+            ProgramSource(assemble("halt", name="idle"), 1),
+        ]
+        simulator = Simulator(
+            config, workloads=[benchmark, "idle"], sources=sources
+        )
+        result = simulator.run()
+        self.results[label] = result
+        return result
+
+    def pair(
+        self,
+        benchmark: str,
+        other: str,
+        policy: str = "stop_and_go",
+        ideal_sink: bool = False,
+    ) -> RunResult:
+        """A benchmark co-scheduled with another workload (thread 0 = victim)."""
+        config = self._configure(policy, ideal_sink)
+        label = f"{benchmark}+{other}|{config.dtm_policy}|{int(ideal_sink)}"
+        return self.run(label, [benchmark, other], config)
+
+    def sweep(
+        self, labeled: Iterable[tuple[str, list[str], SimulationConfig]]
+    ) -> dict[str, RunResult]:
+        """Run a sequence of (label, workloads, config) simulations."""
+        for label, workloads, config in labeled:
+            self.run(label, workloads, config)
+        return self.results
+
+    # -- internals ----------------------------------------------------------
+
+    def _configure(self, policy: str, ideal_sink: bool) -> SimulationConfig:
+        config = self.base.with_policy(policy)
+        if ideal_sink:
+            config = config.with_ideal_sink()
+        return config

@@ -1,0 +1,92 @@
+"""Result (de)serialization: RunResult ↔ JSON.
+
+Used by the CLI and by anyone archiving experiment outputs.  The format is
+self-describing and versioned so archived results stay readable as the
+library evolves.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import SimulationError
+from .stats import RunResult, ThreadStats
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """Plain-dict form of a RunResult (JSON-ready)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "workloads": list(result.workloads),
+        "policy": result.policy,
+        "cycles": result.cycles,
+        "emergencies": result.emergencies,
+        "emergencies_per_block": list(result.emergencies_per_block),
+        "peak_temperature_k": result.peak_temperature_k,
+        "sedations": result.sedations,
+        "safety_net_engagements": result.safety_net_engagements,
+        "stall_engagements": result.stall_engagements,
+        "threads": [
+            {
+                "thread": t.thread,
+                "workload": t.workload,
+                "committed": t.committed,
+                "fetched": t.fetched,
+                "cycles": t.cycles,
+                "cycles_normal": t.cycles_normal,
+                "cycles_cooling": t.cycles_cooling,
+                "cycles_sedated": t.cycles_sedated,
+                "access_counts": list(t.access_counts),
+                "ipc": t.ipc,
+            }
+            for t in result.threads
+        ],
+        "trace": [list(row) for row in result.trace],
+    }
+
+
+def result_from_dict(payload: dict) -> RunResult:
+    """Rebuild a RunResult from its dict form."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SimulationError(f"unsupported result format version: {version!r}")
+    threads = tuple(
+        ThreadStats(
+            thread=t["thread"],
+            workload=t["workload"],
+            committed=t["committed"],
+            fetched=t["fetched"],
+            cycles=t["cycles"],
+            cycles_normal=t["cycles_normal"],
+            cycles_cooling=t["cycles_cooling"],
+            cycles_sedated=t["cycles_sedated"],
+            access_counts=tuple(t["access_counts"]),
+        )
+        for t in payload["threads"]
+    )
+    return RunResult(
+        workloads=tuple(payload["workloads"]),
+        policy=payload["policy"],
+        cycles=payload["cycles"],
+        threads=threads,
+        emergencies=payload["emergencies"],
+        emergencies_per_block=tuple(payload["emergencies_per_block"]),
+        peak_temperature_k=payload["peak_temperature_k"],
+        sedations=payload["sedations"],
+        safety_net_engagements=payload["safety_net_engagements"],
+        stall_engagements=payload["stall_engagements"],
+        trace=tuple(tuple(row) for row in payload["trace"]),
+    )
+
+
+def save_result(result: RunResult, path: str | Path) -> None:
+    """Write a result as JSON."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=1))
+
+
+def load_result(path: str | Path) -> RunResult:
+    """Read a result written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))

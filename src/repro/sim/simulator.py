@@ -1,0 +1,304 @@
+"""The co-simulator: SMT pipeline + power + thermal + DTM policy.
+
+Each run advances the pipeline cycle-by-cycle between *event boundaries*:
+access-rate samples (for the sedation monitor) and thermal sensor readings
+(for power accounting, RC integration, and the DTM policy).  Global-stall
+periods (stop-and-go cooling) skip pipeline execution entirely and advance
+only the thermal model — both faithful (the core is clock-gated) and fast,
+since heat-stroke runs spend most of their time cooling.
+
+Per-thread cycle classification follows the paper's Figure 6: *normal*
+(running, including memory stalls), *cooling* (globally stalled, or DVFS
+throttle cycles), *sedated* (fetch gated by selective sedation).
+"""
+
+from __future__ import annotations
+
+from ..config import SimulationConfig
+from ..core.reporting import OSReportLog
+from ..core.sedation import SelectiveSedationController
+from ..core.usage import UsageMonitor
+from ..dtm import DTMPolicy, DVFS, FetchGating, SedationPolicy, StopAndGo, TTDFS
+from ..errors import SimulationError
+from ..pipeline.smt import SMTCore
+from ..pipeline.source import UopSource
+from ..power import EnergyModel, PowerAccountant
+from ..thermal import Floorplan, RCThermalModel, SensorBank
+from ..workloads.registry import make_source
+from .stats import RunResult, ThreadStats
+
+
+class Simulator:
+    """One SMT machine instance under one DTM policy."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        workloads: list[str] | None = None,
+        sources: list[UopSource] | None = None,
+        energy: EnergyModel | None = None,
+        floorplan: Floorplan | None = None,
+    ) -> None:
+        self.config = config
+        machine = config.machine
+        if sources is None:
+            if workloads is None:
+                raise SimulationError("provide workload names or uop sources")
+            if len(workloads) != machine.num_threads:
+                raise SimulationError(
+                    f"need {machine.num_threads} workloads, got {len(workloads)}"
+                )
+            sources = [
+                make_source(name, tid, machine, config.thermal, seed=config.seed)
+                for tid, name in enumerate(workloads)
+            ]
+            self.workload_names = tuple(workloads)
+        else:
+            if len(sources) != machine.num_threads:
+                raise SimulationError(
+                    f"need {machine.num_threads} sources, got {len(sources)}"
+                )
+            self.workload_names = tuple(
+                workloads
+                if workloads
+                else [type(s).__name__ for s in sources]
+            )
+
+        self.core = SMTCore(machine, sources)
+        for source in sources:
+            prefill = getattr(source, "prefill", None)
+            if prefill is not None:
+                prefill(self.core.hierarchy)
+        self.energy = energy or EnergyModel.default()
+        self.thermal = RCThermalModel(config.thermal, floorplan, self.energy)
+        self.sensors = SensorBank(
+            self.thermal,
+            config.thermal.emergency_k,
+            noise_k=config.thermal.sensor_noise_k,
+            noise_seed=config.thermal.sensor_noise_seed,
+        )
+        self.accountant = PowerAccountant(
+            self.core, self.energy, config.thermal.frequency_hz
+        )
+        self.monitor = UsageMonitor(self.core, config.sedation)
+        self.reports = OSReportLog()
+        self.policy = self._build_policy()
+        self._last_thermal_cycle = self.core.cycle
+
+    def _build_policy(self) -> DTMPolicy:
+        thermal = self.config.thermal
+        name = self.config.dtm_policy
+        if name == "ideal":
+            return DTMPolicy()
+        if name == "stop_and_go":
+            return StopAndGo(thermal.emergency_k, thermal.normal_operating_k)
+        if name == "dvfs":
+            return DVFS(thermal.emergency_k, thermal.normal_operating_k)
+        if name == "ttdfs":
+            return TTDFS(tracking_threshold_k=thermal.emergency_k - 1.0)
+        if name == "fetch_gating":
+            return FetchGating(thermal.emergency_k, thermal.normal_operating_k)
+        if name == "sedation":
+            cooling = self.config.sedation.expected_cooling_cycles
+            if cooling is None:
+                cooling = thermal.cycles_from_seconds(
+                    self.thermal.expected_cooling_seconds()
+                )
+            controller = SelectiveSedationController(
+                self.core,
+                self.monitor,
+                self.config.sedation,
+                expected_cooling_cycles=cooling,
+                report_log=self.reports,
+            )
+            return SedationPolicy(
+                controller, thermal.emergency_k, thermal.normal_operating_k
+            )
+        raise SimulationError(f"unknown DTM policy {name!r}")
+
+    # -- the run loop ------------------------------------------------------------
+
+    def run(self, quantum_cycles: int | None = None, trace: bool = False) -> RunResult:
+        """Simulate one OS quantum and return the collected statistics."""
+        quantum = (
+            self.config.quantum_cycles if quantum_cycles is None else quantum_cycles
+        )
+        if quantum <= 0:
+            raise SimulationError("quantum must be positive")
+        core = self.core
+        policy = self.policy
+        thermal_cfg = self.config.thermal
+        sensor_interval = thermal_cfg.sensor_interval
+        sample_interval = self.config.sedation.sample_interval
+        seconds_per_cycle = thermal_cfg.seconds_per_cycle
+
+        start = core.cycle
+        target = start + quantum
+        next_sample = start + sample_interval
+        next_sensor = start + sensor_interval
+        trace_rows: list[tuple[int, float, float]] = []
+        # Snapshot cumulative counters so the result reports THIS run only
+        # (simulators may be run for several consecutive quanta).
+        baseline = self._snapshot()
+
+        while core.cycle < target:
+            if policy.global_stall:
+                chunk = min(sensor_interval, target - core.cycle)
+                core.skip_cycles(chunk)
+                powers = self.accountant.idle_powers(chunk)
+                self._advance_thermal(powers)
+                self.monitor.skip()
+                for thread in core.threads:
+                    thread.cycles_cooling += chunk
+                reading = self.sensors.sample(core.cycle)
+                policy.on_sensor(reading)
+                if trace:
+                    trace_rows.append(
+                        (core.cycle, reading.hottest_k, float(reading.temperatures[0]))
+                    )
+                next_sample = core.cycle + sample_interval
+                next_sensor = core.cycle + sensor_interval
+                continue
+
+            boundary = min(next_sample, next_sensor, target)
+            span = boundary - core.cycle
+            if span > 0:
+                self._run_span(span)
+            if core.cycle >= next_sample:
+                self.monitor.sample()
+                next_sample += sample_interval
+            if core.cycle >= next_sensor:
+                powers = self.accountant.block_powers(policy.power_scale)
+                self._advance_thermal(powers)
+                reading = self.sensors.sample(core.cycle)
+                policy.on_sensor(reading)
+                if trace:
+                    trace_rows.append(
+                        (core.cycle, reading.hottest_k, float(reading.temperatures[0]))
+                    )
+                next_sensor += sensor_interval
+
+        return self._collect(start, baseline, trace_rows)
+
+    def _snapshot(self) -> dict:
+        policy = self.policy
+        sedations = (
+            policy.controller.sedations
+            if isinstance(policy, SedationPolicy)
+            else 0
+        )
+        safety_nets = (
+            policy.safety_net_engagements
+            if isinstance(policy, SedationPolicy)
+            else 0
+        )
+        return {
+            "threads": [
+                (t.committed, t.fetched, t.cycles_normal, t.cycles_cooling,
+                 t.cycles_sedated)
+                for t in self.core.threads
+            ],
+            "counts": [list(c) for c in self.core.access_counts],
+            "emergencies": self.sensors.total_emergencies,
+            "per_block": list(self.sensors.emergencies_per_block),
+            "sedations": sedations,
+            "safety_nets": safety_nets,
+            "engagements": policy.engagements,
+        }
+
+    def _run_span(self, span: int) -> None:
+        """Run the pipeline for ``span`` cycles, honoring DVFS slowdown."""
+        core = self.core
+        slowdown = self.policy.slowdown
+        if slowdown > 1:
+            active = span // slowdown
+            throttled = span - active
+            if active:
+                core.run_cycles(active)
+            if throttled:
+                core.skip_cycles(throttled)
+            for thread in core.threads:
+                thread.cycles_cooling += throttled
+                if thread.sedated:
+                    thread.cycles_sedated += active
+                else:
+                    thread.cycles_normal += active
+            return
+        core.run_cycles(span)
+        for thread in core.threads:
+            if thread.sedated:
+                thread.cycles_sedated += span
+            else:
+                thread.cycles_normal += span
+
+    def _advance_thermal(self, powers: list[float]) -> None:
+        cycles = self.core.cycle - self._last_thermal_cycle
+        if cycles <= 0:
+            return
+        self.thermal.advance(
+            cycles * self.config.thermal.seconds_per_cycle, powers
+        )
+        self._last_thermal_cycle = self.core.cycle
+
+    # -- result assembly ------------------------------------------------------------
+
+    def _collect(
+        self,
+        start: int,
+        baseline: dict,
+        trace_rows: list[tuple[int, float, float]],
+    ) -> RunResult:
+        core = self.core
+        cycles = core.cycle - start
+        current = self._snapshot()
+        threads = tuple(
+            ThreadStats(
+                thread=t.tid,
+                workload=self.workload_names[t.tid],
+                committed=t.committed - baseline["threads"][t.tid][0],
+                fetched=t.fetched - baseline["threads"][t.tid][1],
+                cycles=cycles,
+                cycles_normal=t.cycles_normal - baseline["threads"][t.tid][2],
+                cycles_cooling=t.cycles_cooling - baseline["threads"][t.tid][3],
+                cycles_sedated=t.cycles_sedated - baseline["threads"][t.tid][4],
+                access_counts=tuple(
+                    now - before
+                    for now, before in zip(
+                        core.access_counts[t.tid], baseline["counts"][t.tid]
+                    )
+                ),
+            )
+            for t in core.threads
+        )
+        per_block = tuple(
+            now - before
+            for now, before in zip(
+                current["per_block"], baseline["per_block"]
+            )
+        )
+        return RunResult(
+            workloads=self.workload_names,
+            policy=self.policy.name,
+            cycles=cycles,
+            threads=threads,
+            emergencies=current["emergencies"] - baseline["emergencies"],
+            emergencies_per_block=per_block,
+            peak_temperature_k=self.sensors.peak_k,
+            sedations=current["sedations"] - baseline["sedations"],
+            safety_net_engagements=(
+                current["safety_nets"] - baseline["safety_nets"]
+            ),
+            stall_engagements=current["engagements"] - baseline["engagements"],
+            trace=tuple(trace_rows),
+        )
+
+
+def run_workloads(
+    config: SimulationConfig,
+    workloads: list[str],
+    quantum_cycles: int | None = None,
+    trace: bool = False,
+) -> RunResult:
+    """One-shot convenience: build a simulator and run one quantum."""
+    simulator = Simulator(config, workloads=workloads)
+    return simulator.run(quantum_cycles=quantum_cycles, trace=trace)

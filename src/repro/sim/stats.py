@@ -1,0 +1,97 @@
+"""Run results: per-thread statistics and whole-run summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..blocks import INT_RF, NUM_BLOCKS, block_name
+
+
+@dataclass(frozen=True)
+class ThreadStats:
+    """Outcome of one hardware context over a run."""
+
+    thread: int
+    workload: str
+    committed: int
+    fetched: int
+    cycles: int
+    cycles_normal: int
+    cycles_cooling: int
+    cycles_sedated: int
+    access_counts: tuple[int, ...]
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per (total) cycle — the paper's metric."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def normal_fraction(self) -> float:
+        return self.cycles_normal / self.cycles if self.cycles else 0.0
+
+    @property
+    def cooling_fraction(self) -> float:
+        return self.cycles_cooling / self.cycles if self.cycles else 0.0
+
+    @property
+    def sedated_fraction(self) -> float:
+        return self.cycles_sedated / self.cycles if self.cycles else 0.0
+
+    def access_rate(self, block: int = INT_RF) -> float:
+        """Flat average accesses/cycle at one block (Figure 3's metric)."""
+        return self.access_counts[block] / self.cycles if self.cycles else 0.0
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulated quantum."""
+
+    workloads: tuple[str, ...]
+    policy: str
+    cycles: int
+    threads: tuple[ThreadStats, ...]
+    emergencies: int
+    emergencies_per_block: tuple[int, ...]
+    peak_temperature_k: float
+    sedations: int
+    safety_net_engagements: int
+    stall_engagements: int
+    trace: tuple[tuple[int, float, float], ...] = field(default=())
+
+    def thread(self, tid: int) -> ThreadStats:
+        return self.threads[tid]
+
+    def ipc_of(self, tid: int) -> float:
+        return self.threads[tid].ipc
+
+    @property
+    def total_ipc(self) -> float:
+        return sum(t.ipc for t in self.threads)
+
+    def emergencies_at(self, block: int) -> int:
+        return self.emergencies_per_block[block]
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report (used by examples)."""
+        lines = [
+            f"policy={self.policy} cycles={self.cycles} "
+            f"emergencies={self.emergencies} peak={self.peak_temperature_k:.2f}K "
+            f"sedations={self.sedations}"
+        ]
+        for stats in self.threads:
+            lines.append(
+                f"  t{stats.thread} {stats.workload:10s} ipc={stats.ipc:5.2f} "
+                f"rf_rate={stats.access_rate():5.2f} "
+                f"normal={stats.normal_fraction:5.1%} "
+                f"cooling={stats.cooling_fraction:5.1%} "
+                f"sedated={stats.sedated_fraction:5.1%}"
+            )
+        hot_blocks = [
+            f"{block_name(b)}:{self.emergencies_per_block[b]}"
+            for b in range(NUM_BLOCKS)
+            if self.emergencies_per_block[b]
+        ]
+        if hot_blocks:
+            lines.append("  emergencies: " + " ".join(hot_blocks))
+        return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Thermal substrate: floorplan, package, RC network, and sensors."""
+
+from .calibration import LimitCycleReport, analyze_limit_cycle, rate_for_temperature
+from .floorplan import Block, DEFAULT_AREAS_MM2, Floorplan
+from .package import DEFAULT_SINK_TIME_CONSTANT_S, Package
+from .rcmodel import CalibrationAnchors, LAYER_SHARES, RCThermalModel
+from .sensors import SensorBank, SensorReading
+
+__all__ = [
+    "analyze_limit_cycle",
+    "Block",
+    "CalibrationAnchors",
+    "DEFAULT_AREAS_MM2",
+    "DEFAULT_SINK_TIME_CONSTANT_S",
+    "Floorplan",
+    "LAYER_SHARES",
+    "LimitCycleReport",
+    "Package",
+    "rate_for_temperature",
+    "RCThermalModel",
+    "SensorBank",
+    "SensorReading",
+]

@@ -1,0 +1,142 @@
+"""Thermal limit-cycle analysis: the calibration tool behind the defaults.
+
+Given a thermal configuration and an attack power profile, simulate the
+stop-and-go limit cycle open-loop (no pipeline) and report heat-up time,
+cool-down time, emergencies per quantum, and the duty cycle.  This is how
+the shipped constants (layer shares, time constants, anchors) were chosen,
+and it is the first tool to reach for when recalibrating after changing the
+floorplan, the energy table, or the package.
+
+The pipeline-free model is conservative: it assumes the attacker bursts
+whenever the pipeline runs and contributes nothing while stalled, which
+brackets the co-simulated behavior from above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..blocks import INT_RF
+from ..config import ThermalConfig
+from ..errors import ThermalError
+from ..power.energy import EnergyModel
+from .rcmodel import RCThermalModel
+
+
+@dataclass(frozen=True)
+class LimitCycleReport:
+    """Outcome of one open-loop stop-and-go limit-cycle analysis."""
+
+    reached_emergency: bool
+    heat_up_s: float
+    cool_down_s: float
+    emergencies: int
+    duty_cycle: float
+    peak_k: float
+
+    def describe(self) -> str:
+        if not self.reached_emergency:
+            return (
+                f"attack never reaches the emergency point "
+                f"(peak {self.peak_k:.2f} K) — package wins"
+            )
+        return (
+            f"heat-up {self.heat_up_s * 1e3:.2f} ms, "
+            f"cool-down {self.cool_down_s * 1e3:.2f} ms, "
+            f"{self.emergencies} emergencies, duty cycle {self.duty_cycle:.2f}"
+        )
+
+
+def analyze_limit_cycle(
+    config: ThermalConfig,
+    attack_rate: float = 12.0,
+    background_rate: float = 1.5,
+    block: int = INT_RF,
+    horizon_s: float = 0.125,
+    energy: EnergyModel | None = None,
+    dt_s: float = 20e-6,
+) -> LimitCycleReport:
+    """Simulate stop-and-go against a sustained flood at ``attack_rate``.
+
+    ``background_rate`` models the victim's contribution while the pipeline
+    runs; during stalls only leakage dissipates.  ``horizon_s`` defaults to
+    the paper's 125 ms OS quantum (real time — the analysis is unscaled).
+    """
+    if attack_rate <= 0 or horizon_s <= 0 or dt_s <= 0:
+        raise ThermalError("attack rate, horizon and dt must be positive")
+    energy = energy or EnergyModel.default()
+    model = RCThermalModel(config, energy=energy)
+    watts_per_rate = energy.energy_j[block] * config.frequency_hz
+
+    leak = list(energy.leakage_w)
+    active = list(leak)
+    active[block] += (attack_rate + background_rate) * watts_per_rate
+
+    stalled = False
+    emergencies = 0
+    active_time = 0.0
+    heat_times: list[float] = []
+    cool_times: list[float] = []
+    since_transition = 0.0
+    peak = model.block_temperature(block)
+    elapsed = 0.0
+    while elapsed < horizon_s:
+        model.advance(dt_s, leak if stalled else active)
+        temperature = model.block_temperature(block)
+        peak = max(peak, temperature)
+        since_transition += dt_s
+        if not stalled:
+            active_time += dt_s
+            if temperature >= config.emergency_k:
+                emergencies += 1
+                heat_times.append(since_transition)
+                since_transition = 0.0
+                stalled = True
+        else:
+            if temperature <= config.normal_operating_k:
+                cool_times.append(since_transition)
+                since_transition = 0.0
+                stalled = False
+        elapsed += dt_s
+
+    if not emergencies:
+        return LimitCycleReport(
+            reached_emergency=False,
+            heat_up_s=float("inf"),
+            cool_down_s=0.0,
+            emergencies=0,
+            duty_cycle=1.0,
+            peak_k=peak,
+        )
+    mean = lambda xs: sum(xs) / len(xs) if xs else 0.0
+    return LimitCycleReport(
+        reached_emergency=True,
+        heat_up_s=mean(heat_times),
+        cool_down_s=mean(cool_times),
+        emergencies=emergencies,
+        duty_cycle=active_time / elapsed,
+        peak_k=peak,
+    )
+
+
+def rate_for_temperature(
+    config: ThermalConfig,
+    temperature_k: float,
+    block: int = INT_RF,
+    energy: EnergyModel | None = None,
+) -> float:
+    """Sustained access rate whose steady state sits at ``temperature_k``.
+
+    The inverse of the calibrated rate→temperature ladder; handy for placing
+    workloads relative to the thresholds (e.g., "what rate reaches the upper
+    sedation threshold?").
+    """
+    energy = energy or EnergyModel.default()
+    model = RCThermalModel(config, energy=energy)
+    resistance = float(model.r1[block] + model.r2[block] + model.r3[block])
+    watts_per_rate = energy.energy_j[block] * config.frequency_hz
+    if resistance <= 0 or watts_per_rate <= 0:
+        raise ThermalError("degenerate thermal path")
+    rise = temperature_k - model.nominal_sink_k
+    power = rise / resistance
+    return max(0.0, (power - energy.leakage_w[block]) / watts_per_rate)

@@ -1,0 +1,86 @@
+"""Floorplan: functional blocks and their die areas.
+
+The layout follows the Alpha-21264-like floorplan the paper inherits from
+HotSpot [Skadron et al.].  Only areas matter to the compact thermal model
+(per-block thermal resistance and capacitance scale with area); adjacency is
+not modeled because, as the paper notes, "the flow of heat in the lateral
+direction is not appreciable" compared with the vertical path to the sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..blocks import BLOCK_NAMES, NUM_BLOCKS
+from ..errors import ThermalError
+
+
+@dataclass(frozen=True)
+class Block:
+    """One floorplan block."""
+
+    block_id: int
+    name: str
+    area_mm2: float
+
+    def __post_init__(self) -> None:
+        if self.area_mm2 <= 0:
+            raise ThermalError(f"block {self.name}: area must be positive")
+
+
+#: Default die areas (mm²).  The integer register file is deliberately small —
+#: small area means high thermal resistance and low capacitance, which is why
+#: it is the natural hot spot the attack targets.
+DEFAULT_AREAS_MM2 = {
+    "int_rf": 1.5,
+    "fp_rf": 1.5,
+    "ialu": 3.0,
+    "imult": 2.0,
+    "falu": 3.0,
+    "fmult": 3.0,
+    "bpred": 2.5,
+    "icache": 8.0,
+    "dcache": 8.0,
+    "l2": 20.0,
+    "window": 4.0,
+    "lsq": 2.5,
+    "rename": 2.0,
+}
+
+
+class Floorplan:
+    """The set of blocks, indexed by block id."""
+
+    def __init__(self, areas_mm2: dict[str, float] | None = None) -> None:
+        areas = dict(DEFAULT_AREAS_MM2)
+        if areas_mm2:
+            unknown = set(areas_mm2) - set(areas)
+            if unknown:
+                raise ThermalError(f"unknown blocks in floorplan: {sorted(unknown)}")
+            areas.update(areas_mm2)
+        self.blocks = [
+            Block(block_id, name, areas[name])
+            for block_id, name in enumerate(BLOCK_NAMES)
+        ]
+        if len(self.blocks) != NUM_BLOCKS:
+            raise ThermalError("floorplan must cover every block id")
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def areas(self) -> list[float]:
+        return [block.area_mm2 for block in self.blocks]
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(block.area_mm2 for block in self.blocks)
+
+    def block(self, name: str) -> Block:
+        for candidate in self.blocks:
+            if candidate.name == name:
+                return candidate
+        raise ThermalError(f"no block named {name!r}")

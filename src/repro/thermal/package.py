@@ -1,0 +1,51 @@
+"""Thermal package (heat sink) description.
+
+The paper's base package is an air-cooled high-performance sink with a
+0.8 K/W convection resistance (Table 1); §5.5 sweeps this resistance to show
+that heat stroke is not an artifact of a weak sink.  The *ideal* package is
+the paper's analytical device: infinite heat-removal rate, pinning all
+temperatures at the normal operating point, used to isolate ICOUNT effects
+from power-density effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ThermalConfig
+from ..errors import ThermalError
+
+#: Real-time constant of the heat sink itself.  It is orders of magnitude
+#: longer than a quantum, so the sink temperature is effectively set by the
+#: nominal chip power and barely moves during a run — which is why local hot
+#: spots "can reach emergency temperatures regardless of average or peak
+#: external package temperature" (paper §1).
+DEFAULT_SINK_TIME_CONSTANT_S = 5.0
+
+
+@dataclass(frozen=True)
+class Package:
+    """Heat-sink parameters used by the RC model."""
+
+    convection_resistance_k_per_w: float
+    ambient_k: float
+    sink_time_constant_s: float = DEFAULT_SINK_TIME_CONSTANT_S
+    ideal: bool = False
+
+    def __post_init__(self) -> None:
+        if self.convection_resistance_k_per_w <= 0:
+            raise ThermalError("convection resistance must be positive")
+        if self.sink_time_constant_s <= 0:
+            raise ThermalError("sink time constant must be positive")
+
+    @property
+    def sink_capacitance_j_per_k(self) -> float:
+        return self.sink_time_constant_s / self.convection_resistance_k_per_w
+
+    @classmethod
+    def from_config(cls, config: ThermalConfig) -> "Package":
+        return cls(
+            convection_resistance_k_per_w=config.convection_resistance_k_per_w,
+            ambient_k=config.ambient_k,
+            ideal=config.ideal_sink,
+        )

@@ -1,0 +1,252 @@
+"""Compact RC thermal network (HotSpot-style).
+
+Each floorplan block is a three-node vertical stack — a die node over a
+die-local region over a spreader region — draining into a single heat-sink
+node shared by all blocks::
+
+    P_i -> [T_block_i] -R1_i-> [T_local_i] -R2_i-> [T_deep_i] -R3_i-> [T_sink] -R_conv-> ambient
+             C_block_i           C_local_i           C_deep_i            C_sink
+
+Lateral die resistances are omitted: the paper notes that lateral heat flow
+is "not appreciable" compared with the vertical path.
+
+The three-layer stack is what produces the paper's central asymmetry (fast
+~1 ms heat-up under attack power, ~10 ms cool-down through the package), and
+it cannot be collapsed to two layers: with two nodes, fast heating and slow
+cooling are mutually exclusive for a fixed burst power.  With three time
+scales the roles separate —
+
+* the **die node** (sub-ms) rides a few kelvin above the local region and
+  performs the final crossing of the emergency temperature;
+* the **local region** (several ms) does the swinging between the emergency
+  neighborhood and the resume (normal-operating) neighborhood — its decay
+  toward the warm deep region is what makes stop-and-go cooling slow;
+* the **deep region** (tens of ms) is charged by the attack's long-run
+  average power to just below the normal operating point, so the local
+  region's cooling asymptote is close to the resume threshold (slow cooling)
+  while a resumed burst still re-crosses the emergency quickly.
+
+**Calibration.**  Rather than hand-tuned resistances, the network is solved
+from declared anchors (:class:`CalibrationAnchors`): the total vertical
+resistance comes from the *slope* between two sustained integer-register-file
+operating points, and per-area resistance/capacitance units follow.  Block
+time constants are area-independent design constants, while steady-state
+temperature rise scales inversely with area — small blocks run hotter, as
+physics demands, which is why the small register file is the natural target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..blocks import INT_RF, NUM_BLOCKS
+from ..config import ThermalConfig
+from ..errors import ThermalError
+from ..power.energy import EnergyModel
+from .floorplan import Floorplan
+from .package import Package
+
+#: Default vertical-resistance shares of the three layers (die, local,
+#: deep).  The die share sets how far the fast node rides above the local
+#: region during a burst; the deep share sets how warm the attack's average
+#: power keeps the cooling asymptote.
+LAYER_SHARES = (0.55, 0.25, 0.20)
+
+
+@dataclass(frozen=True)
+class CalibrationAnchors:
+    """Operating points the network is solved against.
+
+    The die resistances are solved from the *slope* between two sustained
+    integer-RF operating points: ``rf_emergency_rate`` accesses/cycle at the
+    emergency temperature and ``rf_normal_rate`` at the normal operating
+    temperature.  The paper's Figure 3 shows SPEC programs staying below ~6
+    accesses/cycle while the aggressive variant bursts at ~10; anchoring the
+    emergency at a sustained 6 reproduces exactly the regime where normal
+    programs flirt with (but rarely cross) the limit and the attack sails
+    past it.  Using the slope (not the absolute point) keeps the die network
+    independent of the heat sink, so §5.5's convection-resistance sweep
+    changes package behavior without silently re-tuning the die.
+
+    ``nominal_dynamic_w`` — chip dynamic power assumed when computing the
+    initial (quasi-static) sink temperature.
+    """
+
+    rf_emergency_rate: float = 7.1
+    rf_normal_rate: float = 3.0
+    nominal_dynamic_w: float = 5.0
+    layer_shares: tuple[float, float, float] = LAYER_SHARES
+
+    def __post_init__(self) -> None:
+        if abs(sum(self.layer_shares) - 1.0) > 1e-9:
+            raise ThermalError("layer shares must sum to 1")
+        if any(share <= 0 for share in self.layer_shares):
+            raise ThermalError("layer shares must be positive")
+
+
+class RCThermalModel:
+    """The calibrated RC network plus its integrator."""
+
+    def __init__(
+        self,
+        config: ThermalConfig,
+        floorplan: Floorplan | None = None,
+        energy: EnergyModel | None = None,
+        anchors: CalibrationAnchors | None = None,
+    ) -> None:
+        self.config = config
+        self.floorplan = floorplan or Floorplan()
+        self.energy = energy or EnergyModel.default()
+        self.anchors = anchors or CalibrationAnchors()
+        self.package = Package.from_config(config)
+
+        areas = np.asarray(self.floorplan.areas, dtype=float)
+        leakage = np.asarray(self.energy.leakage_w, dtype=float)
+
+        nominal_power = (
+            self.energy.other_power_w
+            + float(leakage.sum())
+            + self.anchors.nominal_dynamic_w
+        )
+        self.nominal_sink_k = (
+            config.ambient_k
+            + self.package.convection_resistance_k_per_w * nominal_power
+        )
+
+        # Solve the RF's total vertical resistance from the temperature/rate
+        # slope between the two anchor operating points.
+        rate_span = self.anchors.rf_emergency_rate - self.anchors.rf_normal_rate
+        watts_per_rate = self.energy.energy_j[INT_RF] * config.frequency_hz
+        if rate_span <= 0 or watts_per_rate <= 0:
+            raise ThermalError("calibration anchors must have a positive slope")
+        rf_total_resistance = (
+            config.emergency_k - config.normal_operating_k
+        ) / (rate_span * watts_per_rate)
+        if self.nominal_sink_k >= config.emergency_k:
+            raise ThermalError(
+                "nominal sink temperature is above the emergency point; "
+                "lower the other/leakage power or the convection resistance"
+            )
+
+        rf_area = areas[INT_RF]
+        share_block, share_local, share_deep = self.anchors.layer_shares
+        self.r1 = share_block * rf_total_resistance * rf_area / areas
+        self.r2 = share_local * rf_total_resistance * rf_area / areas
+        self.r3 = share_deep * rf_total_resistance * rf_area / areas
+        # Area-independent time constants (see module docstring).
+        self.c_block = config.block_time_constant_s / self.r1
+        self.c_local = config.local_time_constant_s / self.r2
+        self.c_deep = config.spreader_time_constant_s / self.r3
+        self.rf_total_resistance = rf_total_resistance
+
+        self.t_block = np.empty(NUM_BLOCKS)
+        self.t_local = np.empty(NUM_BLOCKS)
+        self.t_deep = np.empty(NUM_BLOCKS)
+        self.t_sink = 0.0
+        self.reset()
+
+    # -- state ----------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Initialize at the typical-load steady state over the nominal sink.
+
+        The paper measures quanta on a machine that has been running for a
+        long time, so the network warm-starts at the steady state of a
+        typical mixed workload (normal operating temperatures), not at a
+        cold leakage-only state.
+        """
+        if self.package.ideal:
+            self.t_sink = self.config.normal_operating_k
+            self.t_deep[:] = self.config.normal_operating_k
+            self.t_local[:] = self.config.normal_operating_k
+            self.t_block[:] = self.config.normal_operating_k
+            return
+        warm = np.asarray(
+            self.energy.typical_powers(self.config.frequency_hz), dtype=float
+        )
+        self.t_sink = self.nominal_sink_k
+        self.t_deep[:] = self.t_sink + warm * self.r3
+        self.t_local[:] = self.t_deep + warm * self.r2
+        self.t_block[:] = self.t_local + warm * self.r1
+
+    def temperatures(self) -> np.ndarray:
+        """Current die-block temperatures (K), indexed by block id."""
+        return self.t_block.copy()
+
+    def block_temperature(self, block: int) -> float:
+        return float(self.t_block[block])
+
+    def hottest(self) -> tuple[int, float]:
+        """(block id, temperature) of the hottest die block."""
+        index = int(np.argmax(self.t_block))
+        return index, float(self.t_block[index])
+
+    # -- integration ------------------------------------------------------------
+
+    def advance(self, dt_seconds: float, block_powers: list[float]) -> None:
+        """Integrate the network forward by ``dt_seconds`` of thermal time.
+
+        ``block_powers`` are average watts per block over the interval (the
+        accountant's output).  Uses forward Euler with automatic substepping
+        to stay well inside the stability region of the fastest node.
+        """
+        if dt_seconds < 0:
+            raise ThermalError("cannot integrate backwards in time")
+        if dt_seconds == 0:
+            return
+        if self.package.ideal:
+            return
+        if len(block_powers) != NUM_BLOCKS:
+            raise ThermalError("need one power entry per block")
+
+        powers = np.asarray(block_powers, dtype=float)
+        substeps = max(
+            1, int(np.ceil(dt_seconds / (self.config.block_time_constant_s / 4.0)))
+        )
+        dt = dt_seconds / substeps
+        r1, r2, r3 = self.r1, self.r2, self.r3
+        c_block, c_local, c_deep = self.c_block, self.c_local, self.c_deep
+        c_sink = self.package.sink_capacitance_j_per_k
+        r_conv = self.package.convection_resistance_k_per_w
+        ambient = self.config.ambient_k
+        other = self.energy.other_power_w
+
+        t_block = self.t_block
+        t_local = self.t_local
+        t_deep = self.t_deep
+        t_sink = self.t_sink
+        for _ in range(substeps):
+            flow_1 = (t_block - t_local) / r1
+            flow_2 = (t_local - t_deep) / r2
+            flow_3 = (t_deep - t_sink) / r3
+            t_block = t_block + dt * (powers - flow_1) / c_block
+            t_local = t_local + dt * (flow_1 - flow_2) / c_local
+            t_deep = t_deep + dt * (flow_2 - flow_3) / c_deep
+            t_sink = t_sink + dt * (
+                float(flow_3.sum()) + other - (t_sink - ambient) / r_conv
+            ) / c_sink
+        self.t_block = t_block
+        self.t_local = t_local
+        self.t_deep = t_deep
+        self.t_sink = t_sink
+
+    # -- analysis helpers ---------------------------------------------------------
+
+    def steady_state_block_temperature(
+        self, block: int, power_w: float, sink_k: float | None = None
+    ) -> float:
+        """Analytic steady-state die temperature of one block."""
+        base = self.t_sink if sink_k is None else sink_k
+        return base + power_w * (self.r1[block] + self.r2[block] + self.r3[block])
+
+    def expected_cooling_seconds(self) -> float:
+        """Estimate of the time for a hot spot to cool to the lower threshold.
+
+        Cooling is limited by the die-local region's decay toward the warm
+        deep region; ~1.5 local time constants cover the paper's "expected
+        cooling time", and the sedation controller doubles this before
+        re-examining a still-hot resource (paper §3.2.2).
+        """
+        return 1.5 * self.config.local_time_constant_s

@@ -1,0 +1,43 @@
+"""Workloads: SPEC2K-like synthetic profiles and the malicious kernels."""
+
+from .malicious import (
+    CONFLICT_WAYS,
+    MALICIOUS_VARIANTS,
+    build_fp_flood,
+    build_variant,
+    build_variant1,
+    build_variant2,
+    build_variant3,
+    conflict_addresses,
+)
+from .profiles import (
+    DEFAULT_BENCH_SUBSET,
+    HOT_BENCHMARKS,
+    SPEC_PROFILES,
+    SpecProfile,
+    get_profile,
+)
+from .program_source import ProgramSource
+from .registry import is_malicious, make_source, workload_names
+from .synthetic import SyntheticSource
+
+__all__ = [
+    "build_fp_flood",
+    "build_variant",
+    "build_variant1",
+    "build_variant2",
+    "build_variant3",
+    "CONFLICT_WAYS",
+    "conflict_addresses",
+    "DEFAULT_BENCH_SUBSET",
+    "get_profile",
+    "HOT_BENCHMARKS",
+    "is_malicious",
+    "make_source",
+    "MALICIOUS_VARIANTS",
+    "ProgramSource",
+    "SPEC_PROFILES",
+    "SpecProfile",
+    "SyntheticSource",
+    "workload_names",
+]

@@ -1,0 +1,252 @@
+"""The paper's malicious kernels (Figures 1 and 2), generated as assembly.
+
+* **variant1** — aggressive: a long block of independent ``addl`` instructions
+  in a tight loop.  High IPC *and* a register-file access flood (~10+
+  accesses/cycle); degrades victims through both ICOUNT fetch monopolization
+  and power density.
+* **variant2** — moderate: alternates an ``addl`` burst phase with a phase of
+  loads whose nine addresses map to the same set of the 8-way L2, so every
+  one conflict-misses.  The miss phase drags the average IPC and access rate
+  down into the SPEC envelope (~4 accesses/cycle), isolating power density
+  from any fetch-policy side effect.  This is the paper's representative
+  heat-stroke attacker.
+* **variant3** — evasive: the same burst body as variant2 but a much longer
+  miss phase, dropping the average access rate low enough to hide at the
+  bottom of the SPEC envelope; the paper shows this evasion halves the
+  damage (hot spots form roughly half as often).
+
+Phase lengths are sized from the thermal configuration: the burst must last
+about as long as a hot-spot takes to form (scaled with
+:attr:`~repro.config.ThermalConfig.time_scale`), and the miss phase is sized
+to hit the variant's target *average* access rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MachineConfig, ThermalConfig
+from ..errors import WorkloadError
+from ..isa.assembler import assemble
+from ..isa.program import Program
+
+#: Conflict-set load count: one more than the L2's associativity (Table 1),
+#: so LRU guarantees a miss on every access.
+CONFLICT_WAYS = 9
+
+#: Register-file access rate (accesses/cycle) during each variant's burst,
+#: used to size the miss phase for a target average rate.
+_BURST_RATE_V1 = 11.0
+_BURST_RATE_V3 = 9.0
+_MISS_PHASE_RATE = 0.15
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """Sizing record attached to a generated kernel (for tests/benches)."""
+
+    name: str
+    burst_cycles: int
+    miss_cycles: int
+    burst_iterations: int
+    miss_iterations: int
+
+
+def _independent_adds(count: int, start_dest: int = 1, num_dests: int = 16) -> list[str]:
+    """``count`` independent addl instructions (read $25/$26, cycle dests)."""
+    return [
+        f"    addl ${start_dest + (i % num_dests)}, $25, $26"
+        for i in range(count)
+    ]
+
+
+def _chained_adds(count: int, chains: int = 3) -> list[str]:
+    """Dependent add chains: IPC limited to ``chains`` per cycle."""
+    return [f"    addl ${1 + (i % chains)}, ${1 + (i % chains)}, $25" for i in range(count)]
+
+
+def conflict_addresses(machine: MachineConfig, set_index: int = 128) -> list[int]:
+    """Nine distinct addresses that map to one set of the L2 (and the L1D).
+
+    Addresses are spaced ``num_sets × line_bytes`` apart, so they collide in
+    every power-of-two cache of the hierarchy; tag 0 is skipped to keep the
+    addresses clear of the synthetic generators' hot regions.
+    """
+    l2 = machine.l2
+    span = l2.num_sets * l2.line_bytes
+    return [(tag * span) + set_index * l2.line_bytes for tag in range(1, CONFLICT_WAYS + 1)]
+
+
+def _miss_loop_cost_cycles(machine: MachineConfig) -> int:
+    """Approximate cycles per miss-phase iteration (serialized by the
+    squash-on-L2-miss policy: one full memory round trip per load)."""
+    per_load = (
+        machine.l1d.latency + machine.l2.latency + machine.memory_latency + 6
+    )
+    return CONFLICT_WAYS * per_load
+
+
+def build_variant1(machine: MachineConfig, block_size: int = 48) -> Program:
+    """Figure 1: the aggressive, high-IPC register-file flood."""
+    if block_size < 1:
+        raise WorkloadError("block_size must be positive")
+    lines = ["L1:"]
+    lines.extend(_independent_adds(block_size))
+    lines.append("    br L1")
+    return assemble("\n".join(lines), name="variant1")
+
+
+def _two_phase_kernel(
+    name: str,
+    machine: MachineConfig,
+    burst_body: list[str],
+    burst_iterations: int,
+    miss_iterations: int,
+) -> Program:
+    addresses = conflict_addresses(machine)
+    lines = ["start:", f"    li $20, {burst_iterations}", "P1:"]
+    lines.extend(burst_body)
+    lines.append("    subl $20, $20, 1")
+    lines.append("    bne $20, P1")
+    lines.append(f"    li $21, {miss_iterations}")
+    lines.append("P2:")
+    lines.extend(f"    ldq $4, {address:#x}" for address in addresses)
+    lines.append("    subl $21, $21, 1")
+    lines.append("    bne $21, P2")
+    lines.append("    br start")
+    return assemble("\n".join(lines), name=name)
+
+
+def _size_two_phase(
+    machine: MachineConfig,
+    thermal: ThermalConfig,
+    burst_seconds: float,
+    burst_ipc: float,
+    burst_rate: float,
+    target_rate: float,
+    body_instructions: int,
+) -> tuple[int, int, VariantSpec]:
+    if not 0 < target_rate < burst_rate:
+        raise WorkloadError("target rate must be below the burst rate")
+    burst_cycles = thermal.cycles_from_seconds(burst_seconds)
+    per_iteration = body_instructions + 2  # subl + bne
+    miss_cost = _miss_loop_cost_cycles(machine)
+    miss_cycles_needed = (
+        burst_cycles * (burst_rate - target_rate) / (target_rate - _MISS_PHASE_RATE)
+    )
+    miss_iterations = max(1, int(round(miss_cycles_needed / miss_cost)))
+    # The miss loop is an indivisible ~nine-memory-round-trip quantum; when
+    # one iteration already exceeds the requested miss time, stretch the
+    # burst instead so the phase *ratio* (and hence the average access rate)
+    # is preserved.
+    miss_cycles = miss_iterations * miss_cost
+    burst_cycles_needed = (
+        miss_cycles * (target_rate - _MISS_PHASE_RATE) / (burst_rate - target_rate)
+    )
+    burst_cycles = max(burst_cycles, int(round(burst_cycles_needed)))
+    burst_iterations = max(
+        1, int(round(burst_cycles * burst_ipc / per_iteration))
+    )
+    spec = VariantSpec(
+        name="",
+        burst_cycles=burst_cycles,
+        miss_cycles=miss_cycles,
+        burst_iterations=burst_iterations,
+        miss_iterations=miss_iterations,
+    )
+    return burst_iterations, miss_iterations, spec
+
+
+def build_variant2(
+    machine: MachineConfig,
+    thermal: ThermalConfig,
+    burst_seconds: float = 1.8e-3,
+    target_rate: float = 8.0,
+) -> Program:
+    """Figure 2: the moderate two-phase heat-stroke attacker.
+
+    ``burst_seconds`` matches the paper's observation that "it takes a mildly
+    malicious thread about 1.2 ms to heat up the register file to the
+    emergency temperature"; the miss phase is sized so the *unstalled* loop
+    average access rate lands at ``target_rate``.  Measured over a quantum
+    with stop-and-go stalls included — which is how Figure 3 measures — the
+    flat average lands near the paper's ~4 accesses/cycle.
+    """
+    burst_iterations, miss_iterations, _ = _size_two_phase(
+        machine,
+        thermal,
+        burst_seconds,
+        burst_ipc=4.0,
+        burst_rate=_BURST_RATE_V1,
+        target_rate=target_rate,
+        body_instructions=16,
+    )
+    return _two_phase_kernel(
+        "variant2", machine, _independent_adds(16), burst_iterations, miss_iterations
+    )
+
+
+def build_variant3(
+    machine: MachineConfig,
+    thermal: ThermalConfig,
+    burst_seconds: float = 5.0e-3,
+    target_rate: float = 5.5,
+) -> Program:
+    """The evasive variant: variant2's burst, roughly double the miss phase.
+
+    Halving the duty of the heating bursts halves how often hot spots form —
+    the evasion trade-off the paper reports (§5: ~50.8% damage instead of
+    variant2's 88.2%).  A dependent-chain prologue keeps its fetch footprint
+    a little lower as well.
+    """
+    burst_iterations, miss_iterations, _ = _size_two_phase(
+        machine,
+        thermal,
+        burst_seconds,
+        burst_ipc=4.0,
+        burst_rate=_BURST_RATE_V1,
+        target_rate=target_rate,
+        body_instructions=16,
+    )
+    return _two_phase_kernel(
+        "variant3",
+        machine,
+        _independent_adds(12) + _chained_adds(4),
+        burst_iterations,
+        miss_iterations,
+    )
+
+
+def build_fp_flood(machine: MachineConfig, block_size: int = 48) -> Program:
+    """A floating-point register-file flood (generality check).
+
+    The paper's attack targets the integer register file, but nothing about
+    heat stroke is integer-specific: every potential-hot-spot resource has a
+    sensor and per-thread usage counters, so selective sedation catches an
+    FP-RF flood identically.  Used by tests and the custom-kernel example.
+    """
+    if block_size < 1:
+        raise WorkloadError("block_size must be positive")
+    lines = ["L1:"]
+    lines.extend(
+        f"    addt $f{1 + (i % 16)}, $f25, $f26" for i in range(block_size)
+    )
+    lines.append("    br L1")
+    return assemble("\n".join(lines), name="fp_flood")
+
+
+MALICIOUS_VARIANTS = ("variant1", "variant2", "variant3", "fp_flood")
+
+
+def build_variant(
+    name: str, machine: MachineConfig, thermal: ThermalConfig
+) -> Program:
+    if name == "variant1":
+        return build_variant1(machine)
+    if name == "variant2":
+        return build_variant2(machine, thermal)
+    if name == "variant3":
+        return build_variant3(machine, thermal)
+    if name == "fp_flood":
+        return build_fp_flood(machine)
+    raise WorkloadError(f"unknown malicious variant {name!r}")

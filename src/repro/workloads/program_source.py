@@ -1,0 +1,110 @@
+"""Adapter: run an assembled program as a pipeline uop source.
+
+Architectural semantics come from :class:`~repro.isa.executor.ArchExecutor`
+(execute-at-fetch); branch timing comes from a real tournament predictor —
+the malicious kernels are tight loops whose branches train to near-perfect
+prediction, matching the paper (heat stroke owes nothing to mispredictions).
+
+Address-space placement: each hardware context gets a disjoint 2³²-byte
+region.  Offsets that are multiples of ``num_sets × line_bytes`` preserve
+cache-set mappings for every (power-of-two) cache in the hierarchy, so the
+Figure-2 kernel's same-set conflict addresses still collide after relocation.
+"""
+
+from __future__ import annotations
+
+from ..branch import BranchPredictor
+from ..isa.executor import ArchExecutor
+from ..isa.instructions import OpClass
+from ..isa.program import Program
+from ..pipeline.uop import ISA_CLASS_CODE, OP_BRANCH, Uop
+
+#: Byte size of one encoded instruction (fixed-width ISA).
+INSTRUCTION_BYTES = 4
+
+#: Offset of the code region within a thread's address-space slice.  A
+#: multiple of every cache's (num_sets × line_bytes), so set mappings of
+#: data addresses are unchanged.
+CODE_REGION_OFFSET = 1 << 30
+
+THREAD_REGION_BYTES = 1 << 32
+
+
+class ProgramSource:
+    """Feed an assembled program into one SMT context."""
+
+    def __init__(
+        self,
+        program: Program,
+        thread_id: int,
+        predictor: BranchPredictor | None = None,
+    ) -> None:
+        self.program = program
+        self.thread_id = thread_id
+        self.predictor = predictor or BranchPredictor(num_threads=1)
+        self._predictor_slot = 0 if predictor is None else thread_id
+        base = thread_id * THREAD_REGION_BYTES
+        self._code_base = base + CODE_REGION_OFFSET
+        self._data_base = base
+        self.executor = ArchExecutor(program)
+        self.branches = 0
+        self.mispredicts = 0
+
+    def peek_pc(self) -> int:
+        if self.executor.halted:
+            return -1
+        return self._code_base + self.executor.pc * INSTRUCTION_BYTES
+
+    def prefill(self, hierarchy) -> None:
+        """Warm the instruction path with the (tiny) kernel code.
+
+        Data addresses are deliberately not prefilled: the Figure-2 conflict
+        set must miss, and that is a property of the addresses, not of a
+        cold cache.
+        """
+        line = hierarchy.l1i.config.line_bytes
+        code_bytes = len(self.program) * INSTRUCTION_BYTES
+        for offset in range(0, code_bytes + line, line):
+            address = self._code_base + offset
+            hierarchy.l1i.fill(address)
+            hierarchy.l2.fill(address)
+
+    def next_uop(self) -> Uop | None:
+        executor = self.executor
+        if executor.halted:
+            return None
+        pc_bytes = self._code_base + executor.pc * INSTRUCTION_BYTES
+        result = executor.step()
+        if result.halted:
+            return None
+        instruction = result.instruction
+        opclass = ISA_CLASS_CODE[instruction.opclass.value]
+
+        mispredict = False
+        taken = False
+        if opclass == OP_BRANCH:
+            taken = result.taken
+            target_bytes = self._code_base + result.next_pc * INSTRUCTION_BYTES
+            correct = self.predictor.update(
+                self._predictor_slot, pc_bytes, taken, target_bytes
+            )
+            mispredict = not correct
+            self.branches += 1
+            if mispredict:
+                self.mispredicts += 1
+
+        address = -1
+        if result.address is not None:
+            address = self._data_base + result.address
+
+        dest = instruction.dest if instruction.dest is not None else -1
+        return Uop(
+            self.thread_id,
+            pc_bytes,
+            opclass,
+            dest=dest,
+            srcs=instruction.source_registers(),
+            address=address,
+            taken=taken,
+            mispredict=mispredict,
+        )

@@ -1,0 +1,42 @@
+"""Workload registry: names → uop sources.
+
+A workload name is either a SPEC2K benchmark (synthetic profile) or one of
+the malicious kernels (``variant1``/``variant2``/``variant3``).  The factory
+builds a fresh, independent source for a given hardware context.
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig, ThermalConfig
+from ..errors import WorkloadError
+from ..pipeline.source import UopSource
+from .malicious import MALICIOUS_VARIANTS, build_variant
+from .profiles import SPEC_PROFILES, get_profile
+from .program_source import ProgramSource
+from .synthetic import SyntheticSource
+
+
+def workload_names() -> list[str]:
+    """Every registered workload name."""
+    return sorted(SPEC_PROFILES) + list(MALICIOUS_VARIANTS)
+
+
+def is_malicious(name: str) -> bool:
+    return name in MALICIOUS_VARIANTS
+
+
+def make_source(
+    name: str,
+    thread_id: int,
+    machine: MachineConfig,
+    thermal: ThermalConfig,
+    seed: int = 42,
+) -> UopSource:
+    """Instantiate the workload ``name`` on hardware context ``thread_id``."""
+    if name in MALICIOUS_VARIANTS:
+        return ProgramSource(build_variant(name, machine, thermal), thread_id)
+    if name in SPEC_PROFILES:
+        return SyntheticSource(get_profile(name), thread_id, seed=seed)
+    raise WorkloadError(
+        f"unknown workload {name!r}; known: {workload_names()}"
+    )

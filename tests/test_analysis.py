@@ -1,0 +1,105 @@
+"""Analysis helpers: comparison metrics and table rendering."""
+
+import pytest
+
+from repro.analysis import (
+    degradation,
+    duty_cycle,
+    format_bar_chart,
+    format_table,
+    geometric_slowdown,
+    mean_degradation,
+    restoration,
+)
+from repro.config import scaled_config
+from repro.errors import SimulationError
+from repro.sim import run_workloads
+
+
+class TestDegradation:
+    def test_basic(self):
+        assert degradation(2.0, 1.0) == pytest.approx(0.5)
+
+    def test_paper_headline(self):
+        """'degrades the performance of SPEC2K programs by a factor of four'
+        is a degradation of 0.75."""
+        assert degradation(4.0, 1.0) == pytest.approx(0.75)
+
+    def test_improvement_clamps_to_zero(self):
+        assert degradation(1.0, 1.5) == 0.0
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(SimulationError):
+            degradation(0.0, 1.0)
+
+    def test_mean_degradation(self):
+        pairs = [(2.0, 1.0), (4.0, 3.0)]
+        assert mean_degradation(pairs) == pytest.approx((0.5 + 0.25) / 2)
+
+    def test_mean_degradation_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            mean_degradation([])
+
+
+class TestRestoration:
+    def test_full_restoration(self):
+        assert restoration(2.0, 0.5, 2.0) == pytest.approx(1.0)
+
+    def test_half_restoration(self):
+        assert restoration(2.0, 1.0, 1.5) == pytest.approx(0.5)
+
+    def test_no_damage_counts_as_restored(self):
+        assert restoration(1.0, 1.2, 1.1) == 1.0
+
+    def test_clamped_to_unit_interval(self):
+        assert restoration(2.0, 1.0, 3.0) == 1.0
+        assert restoration(2.0, 1.0, 0.5) == 0.0
+
+
+class TestDutyCycle:
+    def test_matches_normal_fraction(self):
+        config = scaled_config(quantum_cycles=15_000)
+        result = run_workloads(config.with_policy("stop_and_go"), ["gzip", "variant2"])
+        assert duty_cycle(result) == result.threads[0].normal_fraction
+
+
+class TestGeometricSlowdown:
+    def test_mean_of_thread_ipcs(self):
+        config = scaled_config(quantum_cycles=10_000)
+        results = [run_workloads(config, ["gzip", "eon"])]
+        assert geometric_slowdown(results) == pytest.approx(results[0].threads[0].ipc)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            geometric_slowdown([])
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["bench", "ipc"], [["gzip", 2.25], ["mcf", 0.35]], title="Fig"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig"
+        assert "gzip" in text and "2.25" in text
+        # Columns align: every row has the same width.
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1
+
+    def test_format_table_handles_ints_and_strings(self):
+        text = format_table(["a", "b"], [[1, "x"]])
+        assert "1" in text and "x" in text
+
+    def test_bar_chart_scales_to_peak(self):
+        chart = format_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_bar_chart_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+    def test_bar_chart_all_zero(self):
+        chart = format_bar_chart(["a"], [0.0])
+        assert "#" not in chart

@@ -1,0 +1,64 @@
+"""Block-id table and exception-hierarchy tests."""
+
+import pytest
+
+from repro import errors
+from repro.blocks import (
+    BLOCK_IDS,
+    BLOCK_NAMES,
+    INT_RF,
+    NUM_BLOCKS,
+    block_id,
+    block_name,
+)
+
+
+class TestBlocks:
+    def test_names_and_ids_are_bijective(self):
+        assert len(BLOCK_NAMES) == NUM_BLOCKS
+        assert len(BLOCK_IDS) == NUM_BLOCKS
+        for index, name in enumerate(BLOCK_NAMES):
+            assert block_id(name) == index
+            assert block_name(index) == name
+
+    def test_register_file_is_block_zero(self):
+        """The attack's target; several hot paths index it directly."""
+        assert INT_RF == 0
+        assert block_name(INT_RF) == "int_rf"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            block_id("flux_capacitor")
+
+    def test_out_of_range_id_raises(self):
+        with pytest.raises(IndexError):
+            block_name(NUM_BLOCKS)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            errors.ConfigError,
+            errors.AssemblyError,
+            errors.ExecutionError,
+            errors.PipelineError,
+            errors.ThermalError,
+            errors.WorkloadError,
+            errors.SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise error_type("boom")
+
+    def test_assembly_error_carries_line_number(self):
+        error = errors.AssemblyError("bad opcode", line_number=7)
+        assert "line 7" in str(error)
+        assert error.line_number == 7
+
+    def test_assembly_error_without_line(self):
+        error = errors.AssemblyError("bad opcode")
+        assert error.line_number is None
+        assert "bad opcode" in str(error)

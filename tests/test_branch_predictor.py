@@ -1,0 +1,86 @@
+"""Tournament predictor tests: training, BTB, per-thread history."""
+
+from repro.branch import BranchPredictor, PredictorConfig
+
+
+class TestTraining:
+    def test_loop_branch_trains_to_taken(self):
+        predictor = BranchPredictor()
+        for _ in range(8):
+            predictor.update(0, 0x100, True, 0x40)
+        taken, target = predictor.predict(0, 0x100)
+        assert taken is True
+        assert target == 0x40
+
+    def test_never_taken_branch_trains_to_not_taken(self):
+        predictor = BranchPredictor()
+        for _ in range(8):
+            predictor.update(0, 0x200, False, 0x240)
+        taken, _ = predictor.predict(0, 0x200)
+        assert taken is False
+
+    def test_accuracy_on_steady_loop_approaches_one(self):
+        predictor = BranchPredictor()
+        for _ in range(500):
+            predictor.update(0, 0x100, True, 0x40)
+        assert predictor.accuracy > 0.95
+
+    def test_alternating_pattern_learned_by_gshare(self):
+        """T/NT alternation is captured by global history."""
+        predictor = BranchPredictor()
+        outcome = True
+        for _ in range(400):
+            predictor.update(0, 0x300, outcome, 0x340)
+            outcome = not outcome
+        correct = 0
+        for _ in range(100):
+            taken, _ = predictor.predict(0, 0x300)
+            correct += taken == outcome
+            predictor.update(0, 0x300, outcome, 0x340)
+            outcome = not outcome
+        assert correct >= 90
+
+    def test_update_returns_correctness(self):
+        predictor = BranchPredictor()
+        for _ in range(8):
+            predictor.update(0, 0x100, True, 0x40)
+        assert predictor.update(0, 0x100, True, 0x40) is True
+        assert predictor.update(0, 0x100, False, 0x40) is False
+
+
+class TestBTB:
+    def test_wrong_target_counts_as_mispredict(self):
+        predictor = BranchPredictor()
+        for _ in range(8):
+            predictor.update(0, 0x100, True, 0x40)
+        # Same direction, different target: not correct.
+        assert predictor.update(0, 0x100, True, 0x80) is False
+
+    def test_btb_capacity_is_bounded(self):
+        config = PredictorConfig(btb_entries=16)
+        predictor = BranchPredictor(config)
+        for i in range(100):
+            predictor.update(0, 0x1000 + 4 * i, True, 0x40)
+        assert len(predictor._btb) <= 16
+
+    def test_not_taken_prediction_has_no_target(self):
+        predictor = BranchPredictor()
+        taken, target = predictor.predict(0, 0x900)
+        if not taken:
+            assert target is None
+
+
+class TestPerThreadHistory:
+    def test_threads_have_independent_history(self):
+        predictor = BranchPredictor(num_threads=2)
+        # Thread 0 sees alternation; thread 1 sees always-taken at same PC.
+        outcome = True
+        for _ in range(300):
+            predictor.update(0, 0x500, outcome, 0x540)
+            outcome = not outcome
+            predictor.update(1, 0x500, True, 0x540)
+        # The shared tables are trained, but histories differ per thread.
+        assert predictor._history[0] != predictor._history[1]
+
+    def test_fresh_predictor_accuracy_is_one(self):
+        assert BranchPredictor().accuracy == 1.0

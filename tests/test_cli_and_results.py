@@ -1,0 +1,106 @@
+"""CLI and result-serialization tests."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.config import scaled_config
+from repro.errors import SimulationError
+from repro.sim import run_workloads
+from repro.sim.results import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+
+CFG = scaled_config(time_scale=8000.0, quantum_cycles=8_000)
+
+
+@pytest.fixture(scope="module")
+def sample_result():
+    return run_workloads(CFG.with_policy("stop_and_go"), ["gzip", "variant2"])
+
+
+class TestSerialization:
+    def test_round_trip(self, sample_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(sample_result, path)
+        loaded = load_result(path)
+        assert loaded.workloads == sample_result.workloads
+        assert loaded.policy == sample_result.policy
+        assert loaded.cycles == sample_result.cycles
+        assert loaded.emergencies == sample_result.emergencies
+        for original, restored in zip(sample_result.threads, loaded.threads):
+            assert restored.committed == original.committed
+            assert restored.ipc == pytest.approx(original.ipc)
+            assert restored.access_counts == original.access_counts
+
+    def test_json_is_self_describing(self, sample_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(sample_result, path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert payload["workloads"] == ["gzip", "variant2"]
+
+    def test_unknown_version_rejected(self, sample_result):
+        payload = result_to_dict(sample_result)
+        payload["format_version"] = 99
+        with pytest.raises(SimulationError):
+            result_from_dict(payload)
+
+    def test_trace_preserved(self, tmp_path):
+        from repro.sim import Simulator
+
+        sim = Simulator(CFG, workloads=["gzip", "eon"])
+        result = sim.run(quantum_cycles=2_000, trace=True)
+        path = tmp_path / "traced.json"
+        save_result(result, path)
+        assert load_result(path).trace == result.trace
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_workloads_command(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "variant2" in out
+
+    def test_temps_command(self, capsys):
+        assert main(["temps"]) == 0
+        out = capsys.readouterr().out
+        assert "EMERGENCY" in out
+        assert "normal operating" in out
+
+    def test_run_command(self, capsys, tmp_path):
+        output = tmp_path / "out.json"
+        code = main([
+            "run", "gzip", "eon",
+            "--time-scale", "8000", "--quantum", "5000",
+            "--policy", "stop_and_go", "--output", str(output),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out
+        assert output.exists()
+        assert load_result(output).workloads == ("gzip", "eon")
+
+    def test_run_rejects_unknown_workload(self, capsys):
+        code = main([
+            "run", "gzip", "doom", "--time-scale", "8000", "--quantum", "2000",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_attack_command(self, capsys):
+        code = main([
+            "attack", "--victim", "swim", "--time-scale", "8000",
+            "--quantum", "10000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degradation" in out

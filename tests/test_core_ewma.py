@@ -1,0 +1,128 @@
+"""EWMA tests, including hypothesis properties and fixed-point agreement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Ewma, FixedPointEwma
+from repro.errors import ConfigError
+
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=16.0, allow_nan=False), max_size=300
+)
+
+
+class TestEwmaBasics:
+    def test_constant_input_converges_to_constant(self):
+        ewma = Ewma(shift=4)
+        for _ in range(500):
+            ewma.update(5.0)
+        assert ewma.value == pytest.approx(5.0, abs=1e-3)
+
+    def test_paper_parameters(self):
+        """x = 1/128 via a 7-bit shift, window ~ 2**7 samples."""
+        ewma = Ewma(shift=7)
+        assert ewma.x == pytest.approx(1.0 / 128)
+        assert ewma.window_samples == 128
+
+    def test_single_update_blend(self):
+        ewma = Ewma(shift=2, initial=0.0)  # x = 1/4
+        assert ewma.update(8.0) == pytest.approx(2.0)
+
+    def test_age_discounting(self):
+        """Recent samples outweigh old ones: after a burst, the average
+        reflects the burst; after a long quiet period it decays."""
+        ewma = Ewma(shift=3)
+        for _ in range(100):
+            ewma.update(1.0)
+        for _ in range(30):
+            ewma.update(10.0)
+        after_burst = ewma.value
+        assert after_burst > 5.0
+        for _ in range(100):
+            ewma.update(1.0)
+        assert ewma.value < 2.0
+
+    def test_reset(self):
+        ewma = Ewma(shift=3)
+        ewma.update(9.0)
+        ewma.reset()
+        assert ewma.value == 0.0
+        assert ewma.samples == 0
+
+    def test_shift_out_of_range(self):
+        with pytest.raises(ConfigError):
+            Ewma(shift=-1)
+        with pytest.raises(ConfigError):
+            Ewma(shift=31)
+
+
+class TestEwmaProperties:
+    @given(samples)
+    @settings(max_examples=60, deadline=None)
+    def test_value_bounded_by_sample_range(self, xs):
+        """The average stays within the convex hull of {initial} ∪ samples."""
+        ewma = Ewma(shift=4)
+        for x in xs:
+            ewma.update(x)
+        low = min([0.0] + xs)
+        high = max([0.0] + xs)
+        assert low - 1e-9 <= ewma.value <= high + 1e-9
+
+    @given(samples, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_last_sample(self, xs, shift):
+        """Replacing the final sample with a larger one never lowers the
+        average."""
+        ewma_low = Ewma(shift)
+        ewma_high = Ewma(shift)
+        for x in xs:
+            ewma_low.update(x)
+            ewma_high.update(x)
+        ewma_low.update(1.0)
+        ewma_high.update(2.0)
+        assert ewma_high.value > ewma_low.value
+
+    @given(st.floats(min_value=0.0, max_value=16.0), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_fixed_point_agrees_with_float(self, value, shift):
+        ewma = Ewma(shift)
+        fixed = FixedPointEwma(shift)
+        for _ in range(200):
+            ewma.update(value)
+            fixed.update(value)
+        assert fixed.value == pytest.approx(ewma.value, abs=0.05)
+
+    @given(samples)
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_point_tracks_float_within_tolerance(self, xs):
+        ewma = Ewma(4)
+        fixed = FixedPointEwma(4)
+        for x in xs:
+            ewma.update(x)
+            fixed.update(x)
+        assert fixed.value == pytest.approx(ewma.value, abs=0.6)
+
+
+class TestFixedPoint:
+    def test_integer_only_arithmetic(self):
+        fixed = FixedPointEwma(shift=7, fraction_bits=16)
+        fixed.update(3.5)
+        assert isinstance(fixed.raw, int)
+
+    def test_convergence(self):
+        fixed = FixedPointEwma(shift=4)
+        for _ in range(500):
+            fixed.update(7.25)
+        assert fixed.value == pytest.approx(7.25, abs=0.01)
+
+    def test_reset(self):
+        fixed = FixedPointEwma(shift=4)
+        fixed.update(3.0)
+        fixed.reset()
+        assert fixed.raw == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            FixedPointEwma(shift=40)
+        with pytest.raises(ConfigError):
+            FixedPointEwma(shift=4, fraction_bits=64)

@@ -1,0 +1,171 @@
+"""End-to-end attack/defense integration tests.
+
+These pin the paper's qualitative results at a reduced quantum so the suite
+stays fast; the benchmark harness reproduces the full figures.  A higher
+time-scale preset is used (thermal transients compressed harder), which keeps
+every heat-stroke phenomenon inside a ~60 k-cycle quantum.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.blocks import INT_RF
+from repro.config import scaled_config
+from repro.sim import ExperimentRunner, run_workloads
+
+CFG = scaled_config(time_scale=4000.0, quantum_cycles=100_000)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(CFG)
+
+
+@pytest.fixture(scope="module")
+def solo(runner):
+    return runner.solo("gzip", policy="stop_and_go")
+
+
+@pytest.fixture(scope="module")
+def attacked(runner):
+    return runner.pair("gzip", "variant2", policy="stop_and_go")
+
+
+@pytest.fixture(scope="module")
+def defended(runner):
+    return runner.pair("gzip", "variant2", policy="sedation")
+
+
+class TestHeatStroke:
+    def test_attack_causes_repeated_emergencies(self, solo, attacked):
+        """Figure 4's shape: the attack multiplies temperature emergencies."""
+        assert attacked.emergencies >= 8
+        assert attacked.emergencies >= 4 * max(1, solo.emergencies)
+
+    def test_emergencies_are_at_the_register_file(self, attacked):
+        assert attacked.emergencies_at(INT_RF) == attacked.emergencies
+
+    def test_attack_severely_degrades_victim(self, solo, attacked):
+        """Figure 5's shape: severe IPC loss under stop-and-go."""
+        assert attacked.threads[0].ipc < 0.65 * solo.threads[0].ipc
+
+    def test_victim_spends_significant_fraction_cooling(self, attacked):
+        """Figure 6's shape: heat stroke converts execution into stalls."""
+        assert attacked.threads[0].cooling_fraction > 0.08
+
+    def test_attack_needs_realistic_packaging(self, runner, attacked):
+        """With the ideal sink the same kernel causes no emergencies and
+        less damage than under realistic packaging: the thermal component is
+        what distinguishes heat stroke from ordinary SMT sharing, and
+        variant2 shares far less aggressively than variant1."""
+        ideal = runner.pair("gzip", "variant2", policy="ideal", ideal_sink=True)
+        v1_ideal = runner.pair("gzip", "variant1", policy="ideal", ideal_sink=True)
+        assert ideal.emergencies == 0
+        assert ideal.threads[0].ipc > attacked.threads[0].ipc
+        assert ideal.threads[0].ipc > 1.5 * v1_ideal.threads[0].ipc
+
+    def test_variant3_is_weaker_than_variant2(self, runner, solo, attacked):
+        v3 = runner.pair("gzip", "variant3", policy="stop_and_go")
+        damage_v2 = solo.threads[0].ipc - attacked.threads[0].ipc
+        damage_v3 = solo.threads[0].ipc - v3.threads[0].ipc
+        assert 0 < damage_v3 < damage_v2
+
+    def test_variant1_monopolizes_fetch_even_with_ideal_sink(self, runner):
+        """The ICOUNT side effect the paper isolates with variant1."""
+        solo_ideal = runner.solo("gzip", policy="ideal", ideal_sink=True)
+        v1_ideal = runner.pair("gzip", "variant1", policy="ideal", ideal_sink=True)
+        assert v1_ideal.threads[0].ipc < 0.6 * solo_ideal.threads[0].ipc
+
+
+class TestSelectiveSedation:
+    def test_sedation_restores_victim_ipc(self, runner, solo, attacked, defended):
+        """The paper's central result: sedation recovers the attack's
+        thermal damage.  In this model a sedated-then-released attacker
+        still competes as an ordinary co-runner part of the time, so the
+        reference point is the ideal-sink pairing (pure sharing cost)."""
+        ideal = runner.pair("gzip", "variant2", policy="ideal", ideal_sink=True)
+        assert defended.threads[0].ipc > 0.9 * ideal.threads[0].ipc
+        assert defended.threads[0].ipc > 1.25 * attacked.threads[0].ipc
+
+    def test_sedation_suppresses_emergencies(self, solo, defended):
+        assert defended.emergencies <= solo.emergencies + 2
+
+    def test_attacker_spends_substantial_time_sedated(self, defended):
+        """Figure 6, fourth bar: variant2 under sedation (the paper's model
+        holds the attacker sedated ~85% of the quantum; ours releases at the
+        lower threshold sooner — see EXPERIMENTS.md deviations)."""
+        assert defended.threads[1].sedated_fraction > 0.15
+
+    def test_victim_is_never_sedated(self, defended):
+        assert defended.threads[0].sedated_fraction == 0.0
+
+    def test_sedation_identified_the_right_thread(self, runner):
+        import repro.sim.simulator as simulator_module
+        from repro.sim import Simulator
+
+        sim = Simulator(CFG.with_policy("sedation"), workloads=["gzip", "variant2"])
+        sim.run()
+        counts = sim.reports.sedation_counts_by_thread()
+        assert counts.get(1, 0) >= 1
+        assert counts.get(0, 0) == 0
+
+    def test_sedation_beats_stop_and_go(self, attacked, defended):
+        assert defended.threads[0].ipc > 1.2 * attacked.threads[0].ipc
+
+
+class TestNoFalsePositives:
+    def test_spec_pair_unaffected_by_sedation(self, runner):
+        """§5 result (7): SPEC-only pairs run the same with and without
+        selective sedation — no false-positive cost."""
+        base = runner.pair("gcc", "swim", policy="stop_and_go")
+        with_sedation = runner.pair("gcc", "swim", policy="sedation")
+        for tid in (0, 1):
+            assert with_sedation.threads[tid].ipc == pytest.approx(
+                base.threads[tid].ipc, rel=0.12
+            )
+
+    def test_solo_program_never_sedated(self, runner):
+        solo_sed = runner.solo("crafty", policy="sedation")
+        assert solo_sed.threads[0].sedated_fraction == 0.0
+
+
+class TestAccessRateEnvelopes:
+    def test_variant1_flat_average_far_above_spec(self, runner):
+        """Figure 3: variant1 ~10 accesses/cycle, widely separated."""
+        v1 = runner.solo("variant1", policy="ideal", ideal_sink=True)
+        assert v1.threads[0].access_rate(INT_RF) > 8.0
+
+    def test_variant2_flat_average_far_below_its_burst(self, runner):
+        """Figure 3's point: variant2's quantum average is a fraction of its
+        burst rate, so flat-average policing under-estimates it (the paper's
+        v2 hides at ~4; ours sits near the top of the SPEC envelope — see
+        EXPERIMENTS.md deviations)."""
+        v2 = runner.solo("variant2", policy="stop_and_go")
+        v1 = runner.solo("variant1", policy="ideal", ideal_sink=True)
+        assert v2.threads[0].access_rate(INT_RF) < 0.75 * v1.threads[0].access_rate(INT_RF)
+
+    def test_variant3_flat_average_below_variant2(self, runner):
+        v3 = runner.solo("variant3", policy="stop_and_go")
+        v2 = runner.solo("variant2", policy="stop_and_go")
+        assert v3.threads[0].access_rate(INT_RF) < v2.threads[0].access_rate(INT_RF)
+
+
+class TestMultipleAttackers:
+    def test_second_culprit_sedated_or_safety_net(self):
+        """§3.2.2: with several power-density threads, sedation walks down
+        the usage ranking; the stop-and-go safety net covers the rest."""
+        machine = dataclasses.replace(CFG.machine, num_threads=3)
+        config = dataclasses.replace(
+            CFG.with_policy("sedation"), machine=machine
+        )
+        from repro.sim import Simulator
+
+        sim = Simulator(config, workloads=["gcc", "variant2", "variant2"])
+        result = sim.run()
+        counts = sim.reports.sedation_counts_by_thread()
+        attackers_sedated = counts.get(1, 0) + counts.get(2, 0)
+        assert attackers_sedated >= 2
+        assert counts.get(0, 0) == 0
+        # The victim still makes progress.
+        assert result.threads[0].committed > 0

@@ -1,0 +1,178 @@
+"""Assembler tests: syntax, labels, operand forms, and errors."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import OpClass, assemble, parse_register
+from repro.isa.registers import FP_BASE, register_name
+
+
+class TestRegisters:
+    def test_parse_integer_register(self):
+        assert parse_register("$5") == 5
+
+    def test_parse_fp_register(self):
+        assert parse_register("$f3") == FP_BASE + 3
+
+    def test_round_trip_names(self):
+        for reg in (0, 7, 31, FP_BASE, FP_BASE + 31):
+            assert parse_register(register_name(reg)) == reg
+
+    @pytest.mark.parametrize("bad", ["$32", "$f32", "x5", "$", "$fx", "$-1"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AssemblyError):
+            parse_register(bad)
+
+    def test_register_name_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            register_name(999)
+
+
+class TestBasicForms:
+    def test_three_operand_alu(self):
+        program = assemble("addl $1, $2, $3")
+        instr = program.at(0)
+        assert instr.opcode == "addl"
+        assert instr.dest == 1
+        assert instr.srcs == (2, 3)
+
+    def test_register_immediate_alu(self):
+        instr = assemble("subl $1, $2, 7").at(0)
+        assert instr.srcs == (2,)
+        assert instr.imm == 7
+
+    def test_li(self):
+        instr = assemble("li $4, 0x10").at(0)
+        assert instr.dest == 4
+        assert instr.imm == 16
+
+    def test_mov(self):
+        instr = assemble("mov $4, $9").at(0)
+        assert instr.dest == 4
+        assert instr.srcs == (9,)
+
+    def test_absolute_load(self):
+        instr = assemble("ldq $4, 0x12340").at(0)
+        assert instr.opclass is OpClass.LOAD
+        assert instr.dest == 4
+        assert instr.base is None
+        assert instr.imm == 0x12340
+
+    def test_displacement_load(self):
+        instr = assemble("ldq $4, 16($5)").at(0)
+        assert instr.base == 5
+        assert instr.imm == 16
+        assert instr.source_registers() == (5,)
+
+    def test_store_sources_include_data_and_base(self):
+        instr = assemble("stq $4, 8($5)").at(0)
+        assert instr.opclass is OpClass.STORE
+        assert instr.dest is None
+        assert set(instr.source_registers()) == {4, 5}
+
+    def test_fp_arithmetic(self):
+        instr = assemble("addt $f1, $f2, $f3").at(0)
+        assert instr.opclass is OpClass.FALU
+        assert instr.dest == FP_BASE + 1
+
+    def test_nop_and_halt(self):
+        program = assemble("nop\nhalt")
+        assert program.at(0).opcode == "nop"
+        assert program.at(1).opcode == "halt"
+
+
+class TestLabelsAndBranches:
+    def test_paper_figure1_kernel_assembles(self):
+        """The exact shape of the paper's Figure 1 listing."""
+        program = assemble(
+            """
+            L$1:
+                addl $1, $2, $3
+                br L$1
+            """
+        )
+        assert len(program) == 2
+        branch = program.at(1)
+        assert branch.opclass is OpClass.BRANCH
+        assert branch.target == 0
+
+    def test_forward_reference(self):
+        program = assemble("br end\nnop\nend: halt")
+        assert program.at(0).target == 2
+
+    def test_conditional_branch_reads_register(self):
+        instr = assemble("L: bne $20, L").at(0)
+        assert instr.srcs == (20,)
+        assert instr.target == 0
+
+    def test_multiple_labels_one_line(self):
+        program = assemble("A: B: nop")
+        assert program.labels == {"A": 0, "B": 0}
+
+    def test_label_address_lookup(self):
+        program = assemble("nop\nHERE: halt")
+        assert program.label_address("HERE") == 1
+
+    def test_comments_are_stripped(self):
+        program = assemble("# header\naddl $1, $2, $3  ; trailing\n")
+        assert len(program) == 1
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("A: nop\nA: nop")
+
+    def test_undefined_label_rejected_with_line_number(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("nop\nbr nowhere")
+        assert "nowhere" in str(excinfo.value)
+
+    def test_unknown_opcode_reports_line(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("nop\nfrobnicate $1, $2, $3")
+        assert "line 2" in str(excinfo.value)
+
+
+class TestOperandErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "addl $1, $2",  # too few
+            "addl $1, $2, $3, $4",  # too many
+            "ldq $4",  # missing address
+            "br",  # missing target
+            "nop $1",  # operands on nop
+            "li $1, banana",  # bad immediate
+            "beq L",  # missing source register
+        ],
+    )
+    def test_malformed_operands(self, source):
+        with pytest.raises(AssemblyError):
+            assemble(source)
+
+
+class TestListing:
+    def test_listing_round_trips_through_assembler(self):
+        source = """
+        start:
+            li   $20, 3
+        P1:
+            addl $1, $25, $26
+            ldq  $4, 64($5)
+            stq  $4, 0x80
+            subl $20, $20, 1
+            bne  $20, P1
+            br   start
+        """
+        program = assemble(source)
+        reassembled = assemble(program.listing())
+        assert len(reassembled) == len(program)
+        for index in range(len(program)):
+            a, b = program.at(index), reassembled.at(index)
+            assert (a.opcode, a.dest, a.srcs, a.imm, a.base, a.target) == (
+                b.opcode,
+                b.dest,
+                b.srcs,
+                b.imm,
+                b.base,
+                b.target,
+            )

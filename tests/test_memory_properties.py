@@ -1,0 +1,71 @@
+"""Property-based cache tests (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.memory import Cache
+
+CONFIG = CacheConfig(2048, 2, 64, 1)  # 16 sets, 2-way
+
+addresses = st.integers(min_value=0, max_value=1 << 20)
+
+
+@given(st.lists(addresses, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_occupancy_never_exceeds_capacity(stream):
+    cache = Cache(CONFIG)
+    capacity = CONFIG.num_sets * CONFIG.assoc
+    for address in stream:
+        cache.access(address)
+        assert cache.occupancy <= capacity
+
+
+@given(st.lists(addresses, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_hits_plus_misses_equals_lookups(stream):
+    cache = Cache(CONFIG)
+    for address in stream:
+        cache.access(address)
+    assert cache.hits + cache.misses == len(stream)
+
+
+@given(st.lists(addresses, max_size=100), addresses)
+@settings(max_examples=50, deadline=None)
+def test_access_then_immediate_reaccess_hits(stream, probe):
+    cache = Cache(CONFIG)
+    for address in stream:
+        cache.access(address)
+    cache.access(probe)
+    assert cache.access(probe) is True
+
+
+@given(st.lists(addresses, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_contains_agrees_with_hit_outcome(stream):
+    cache = Cache(CONFIG)
+    for address in stream:
+        expected = cache.contains(address)
+        assert cache.access(address) is expected
+
+
+@given(st.lists(addresses, min_size=1, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_mru_line_survives_any_single_fill(stream):
+    """Under LRU the most recently used line is never the next victim."""
+    cache = Cache(CONFIG)
+    for address in stream:
+        cache.access(address)
+    mru = stream[-1]
+    # One new conflicting fill in the same set must not evict the MRU line.
+    conflicting = mru + CONFIG.num_sets * CONFIG.line_bytes
+    cache.access(conflicting)
+    assert cache.contains(mru) is True
+
+
+@given(st.integers(min_value=0, max_value=15), st.integers(min_value=1, max_value=12))
+@settings(max_examples=50, deadline=None)
+def test_addresses_mapping_to_set_property(set_index, count):
+    cache = Cache(CONFIG)
+    generated = cache.addresses_mapping_to_set(set_index, count)
+    assert len(set(cache.tag(a) for a in generated)) == count
+    assert all(cache.set_index(a) == set_index for a in generated)

@@ -1,0 +1,48 @@
+"""Claims-registry completeness tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.paper import CLAIMS, Standing, claim, summary_table
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestRegistry:
+    def test_every_claim_names_an_existing_target(self):
+        for entry in CLAIMS:
+            assert (REPO / entry.verified_by).exists(), entry.claim_id
+
+    def test_ids_are_unique(self):
+        ids = [c.claim_id for c in CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_partial_claims_cite_a_deviation(self):
+        for entry in CLAIMS:
+            if entry.standing is Standing.PARTIAL:
+                assert entry.deviation, entry.claim_id
+
+    def test_deviations_exist_in_experiments_md(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for entry in CLAIMS:
+            if entry.deviation:
+                assert f"**{entry.deviation} " in text or f"{entry.deviation} —" in text, (
+                    entry.claim_id
+                )
+
+    def test_every_figure_is_covered(self):
+        sources = " ".join(c.source for c in CLAIMS)
+        for artifact in ("Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6",
+                         "§5.5", "§5.6", "§3.3"):
+            assert artifact in sources, artifact
+
+    def test_lookup(self):
+        assert claim("attack-severity").source.startswith("Fig. 5")
+        with pytest.raises(KeyError):
+            claim("cold-fusion")
+
+    def test_summary_table_renders(self):
+        table = summary_table()
+        assert "attack-severity" in table
+        assert "reproduced" in table

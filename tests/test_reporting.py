@@ -1,0 +1,53 @@
+"""OS-report log tests."""
+
+from repro.blocks import INT_RF
+from repro.core import OffenderReport, OSReportLog, ReportKind
+
+
+def report(cycle=100, kind=ReportKind.SEDATED, thread=1, block=INT_RF):
+    return OffenderReport(cycle, kind, thread, block, 356.6, weighted_average=9.5)
+
+
+class TestOffenderReport:
+    def test_describe_names_thread_and_block(self):
+        text = report().describe()
+        assert "thread 1" in text
+        assert "int_rf" in text
+        assert "sedated" in text
+        assert "356.6" in text
+
+    def test_describe_chipwide_event(self):
+        text = OffenderReport(5, ReportKind.SAFETY_NET, None, None, 358.2).describe()
+        assert "all threads" in text
+        assert "chip" in text
+
+
+class TestOSReportLog:
+    def test_record_and_length(self):
+        log = OSReportLog()
+        assert len(log) == 0
+        log.record(report())
+        assert len(log) == 1
+
+    def test_sedations_filter(self):
+        log = OSReportLog()
+        log.record(report(kind=ReportKind.SEDATED))
+        log.record(report(kind=ReportKind.RELEASED))
+        log.record(report(kind=ReportKind.SAFETY_NET, thread=None))
+        assert len(log.sedations()) == 1
+
+    def test_counts_by_thread(self):
+        log = OSReportLog()
+        log.record(report(thread=1))
+        log.record(report(thread=1))
+        log.record(report(thread=0))
+        log.record(report(kind=ReportKind.RELEASED, thread=1))  # not a sedation
+        assert log.sedation_counts_by_thread() == {1: 2, 0: 1}
+
+    def test_empty_log_is_falsy_but_usable(self):
+        """Regression guard: an empty log must still be a valid sink
+        (a `x or default()` idiom once silently replaced it)."""
+        log = OSReportLog()
+        assert not log  # falsy when empty — by design
+        assert log.sedation_counts_by_thread() == {}
+        assert log.sedations() == []

@@ -1,0 +1,76 @@
+"""Sensor-noise robustness tests.
+
+Real on-die thermal sensors carry noise and offset; the paper's defense
+keys on temperature thresholds, so it must tolerate realistic sensor error.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ThermalConfig, scaled_config
+from repro.errors import ConfigError
+from repro.sim import run_workloads
+from repro.thermal import RCThermalModel, SensorBank
+
+CFG = scaled_config(time_scale=8000.0, quantum_cycles=15_000)
+
+
+def noisy(config, sigma, seed=1234):
+    thermal = dataclasses.replace(
+        config.thermal, sensor_noise_k=sigma, sensor_noise_seed=seed
+    )
+    return dataclasses.replace(config, thermal=thermal)
+
+
+class TestSensorBankNoise:
+    def test_noise_perturbs_readings(self):
+        model = RCThermalModel(ThermalConfig())
+        clean = SensorBank(model, 358.0)
+        dirty = SensorBank(model, 358.0, noise_k=0.5)
+        clean_reading = clean.sample(0)
+        dirty_reading = dirty.sample(0)
+        assert not (clean_reading.temperatures == dirty_reading.temperatures).all()
+
+    def test_noise_is_seeded(self):
+        model = RCThermalModel(ThermalConfig())
+        a = SensorBank(model, 358.0, noise_k=0.5, noise_seed=7).sample(0)
+        b = SensorBank(model, 358.0, noise_k=0.5, noise_seed=7).sample(0)
+        assert (a.temperatures == b.temperatures).all()
+
+    def test_zero_noise_is_exact(self):
+        model = RCThermalModel(ThermalConfig())
+        bank = SensorBank(model, 358.0, noise_k=0.0)
+        assert (bank.sample(0).temperatures == model.temperatures()).all()
+
+    def test_negative_noise_rejected_in_config(self):
+        with pytest.raises(ConfigError):
+            ThermalConfig(sensor_noise_k=-0.1)
+
+
+class TestDefenseUnderNoise:
+    def test_sedation_still_defends_with_noisy_sensors(self):
+        clean = run_workloads(CFG.with_policy("sedation"), ["gzip", "variant2"])
+        dirty = run_workloads(
+            noisy(CFG, 0.25).with_policy("sedation"), ["gzip", "variant2"]
+        )
+        # The victim's outcome is in the same ballpark with realistic noise.
+        assert dirty.threads[0].ipc > 0.85 * clean.threads[0].ipc
+
+    def test_noise_does_not_sedate_the_victim(self):
+        from repro.sim import Simulator
+
+        sim = Simulator(
+            noisy(CFG, 0.25).with_policy("sedation"),
+            workloads=["gzip", "variant2"],
+        )
+        sim.run()
+        counts = sim.reports.sedation_counts_by_thread()
+        assert counts.get(0, 0) <= counts.get(1, 0)
+
+    def test_heavy_noise_inflates_emergency_count_only_modestly(self):
+        clean = run_workloads(CFG.with_policy("stop_and_go"), ["gzip", "variant2"])
+        dirty = run_workloads(
+            noisy(CFG, 0.25).with_policy("stop_and_go"), ["gzip", "variant2"]
+        )
+        assert dirty.emergencies <= 3 * max(4, clean.emergencies)

@@ -1,0 +1,302 @@
+"""Thermal model tests: floorplan, package, RC network, sensors."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import DCACHE, INT_RF, NUM_BLOCKS
+from repro.config import ThermalConfig
+from repro.errors import ThermalError
+from repro.power import EnergyModel
+from repro.thermal import (
+    CalibrationAnchors,
+    Floorplan,
+    Package,
+    RCThermalModel,
+    SensorBank,
+)
+
+
+def make_model(**thermal_kwargs) -> RCThermalModel:
+    return RCThermalModel(ThermalConfig(**thermal_kwargs))
+
+
+def leakage_powers(model: RCThermalModel) -> list[float]:
+    return list(model.energy.leakage_w)
+
+
+class TestFloorplan:
+    def test_default_covers_all_blocks(self):
+        plan = Floorplan()
+        assert len(plan) == NUM_BLOCKS
+
+    def test_register_file_is_small(self):
+        """The RF must be among the smallest blocks — that is why it is the
+        attack's natural hot spot."""
+        plan = Floorplan()
+        rf_area = plan.blocks[INT_RF].area_mm2
+        assert rf_area <= min(block.area_mm2 for block in plan)
+
+    def test_override_area(self):
+        plan = Floorplan({"int_rf": 2.5})
+        assert plan.block("int_rf").area_mm2 == pytest.approx(2.5)
+
+    def test_unknown_block_rejected(self):
+        with pytest.raises(ThermalError):
+            Floorplan({"nonexistent": 1.0})
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ThermalError):
+            Floorplan({"int_rf": -1.0})
+
+    def test_total_area(self):
+        plan = Floorplan()
+        assert plan.total_area_mm2 == pytest.approx(sum(plan.areas))
+
+
+class TestPackage:
+    def test_from_config(self):
+        package = Package.from_config(ThermalConfig())
+        assert package.convection_resistance_k_per_w == pytest.approx(0.8)
+        assert package.ideal is False
+
+    def test_sink_capacitance(self):
+        package = Package(0.5, 318.0, sink_time_constant_s=5.0)
+        assert package.sink_capacitance_j_per_k == pytest.approx(10.0)
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ThermalError):
+            Package(0.0, 318.0)
+
+
+class TestCalibration:
+    def test_rate_slope_matches_anchors(self):
+        """Sustained RF temperature difference between the anchor rates must
+        equal emergency - normal_operating."""
+        model = make_model()
+        anchors = model.anchors
+        watts_per_rate = model.energy.energy_j[INT_RF] * model.config.frequency_hz
+        t_low = model.steady_state_block_temperature(
+            INT_RF, anchors.rf_normal_rate * watts_per_rate, model.nominal_sink_k
+        )
+        t_high = model.steady_state_block_temperature(
+            INT_RF, anchors.rf_emergency_rate * watts_per_rate, model.nominal_sink_k
+        )
+        assert t_high - t_low == pytest.approx(
+            model.config.emergency_k - model.config.normal_operating_k
+        )
+
+    def test_smaller_blocks_run_hotter(self):
+        """Equal power into a smaller block yields a higher steady temp."""
+        model = make_model()
+        t_rf = model.steady_state_block_temperature(INT_RF, 2.0)
+        t_dcache = model.steady_state_block_temperature(DCACHE, 2.0)
+        assert t_rf > t_dcache
+
+    def test_time_constants_are_area_independent(self):
+        model = make_model()
+        tau_block = model.r1 * model.c_block
+        assert np.allclose(tau_block, model.config.block_time_constant_s)
+        tau_deep = model.r3 * model.c_deep
+        assert np.allclose(tau_deep, model.config.spreader_time_constant_s)
+
+    def test_warm_start_near_normal_operating(self):
+        """The RF warm-starts close to (below) the emergency point and near
+        the normal operating neighborhood."""
+        model = make_model()
+        t_rf = model.block_temperature(INT_RF)
+        assert 350.0 < t_rf < model.config.emergency_k
+
+    def test_invalid_layer_shares_rejected(self):
+        with pytest.raises(ThermalError):
+            CalibrationAnchors(layer_shares=(0.5, 0.5, 0.5))
+        with pytest.raises(ThermalError):
+            CalibrationAnchors(layer_shares=(1.0, 0.0, 0.0))
+
+    def test_degenerate_anchor_slope_rejected(self):
+        with pytest.raises(ThermalError):
+            RCThermalModel(
+                ThermalConfig(),
+                anchors=CalibrationAnchors(
+                    rf_emergency_rate=3.0, rf_normal_rate=3.0
+                ),
+            )
+
+
+class TestDynamics:
+    def test_leakage_only_is_steady_state_when_cold_started(self):
+        model = make_model()
+        # Force the leakage-only fixed point, then integrate: nothing moves.
+        leak = np.asarray(leakage_powers(model))
+        model.t_deep[:] = model.t_sink + leak * model.r3
+        model.t_local[:] = model.t_deep + leak * model.r2
+        model.t_block[:] = model.t_local + leak * model.r1
+        before = model.temperatures()
+        model.advance(0.01, leakage_powers(model))
+        assert np.allclose(model.temperatures(), before, atol=0.2)
+
+    def test_heating_under_high_power(self):
+        model = make_model()
+        before = model.block_temperature(INT_RF)
+        powers = leakage_powers(model)
+        powers[INT_RF] += 4.0
+        model.advance(5e-3, powers)
+        assert model.block_temperature(INT_RF) > before + 1.0
+
+    def test_cooling_toward_idle_under_leakage(self):
+        model = make_model()
+        powers = leakage_powers(model)
+        powers[INT_RF] += 4.0
+        model.advance(10e-3, powers)
+        hot = model.block_temperature(INT_RF)
+        model.advance(50e-3, leakage_powers(model))
+        assert model.block_temperature(INT_RF) < hot - 2.0
+
+    def test_heat_stroke_limit_cycle(self):
+        """The heat-stroke precondition: under burst power the register file
+        reaches the emergency point within a few milliseconds from the
+        resume point, over and over — the stop-and-go heat/cool limit cycle
+        never converges to safety (the attack re-melts indefinitely)."""
+        config = ThermalConfig()
+        model = RCThermalModel(config)
+        burst = leakage_powers(model)
+        burst[INT_RF] += 5.0  # ~12 accesses/cycle
+        dt = 25e-6
+        heat_times = []
+        for _ in range(4):
+            heat = 0.0
+            while model.block_temperature(INT_RF) < config.emergency_k:
+                model.advance(dt, burst)
+                heat += dt
+                assert heat < 0.1, "never reached emergency"
+            heat_times.append(heat)
+            cool = 0.0
+            while model.block_temperature(INT_RF) > config.normal_operating_k:
+                model.advance(dt, leakage_powers(model))
+                cool += dt
+                assert cool < 1.0, "never cooled"
+        # Re-heating stays fast (the warm neighborhood makes later melts at
+        # least as fast as the first), so the emergencies recur.
+        assert heat_times[-1] <= heat_times[0] * 1.5
+        assert heat_times[-1] < 5e-3
+
+    def test_steady_state_matches_analytic(self):
+        model = make_model()
+        powers = leakage_powers(model)
+        powers[INT_RF] += 2.0
+        for _ in range(200):
+            model.advance(2e-3, powers)
+        analytic = model.steady_state_block_temperature(
+            INT_RF, powers[INT_RF], model.t_sink
+        )
+        assert model.block_temperature(INT_RF) == pytest.approx(analytic, abs=0.5)
+
+    def test_monotonic_in_power(self):
+        temps = []
+        for extra in (0.0, 1.0, 2.0, 4.0):
+            model = make_model()
+            powers = leakage_powers(model)
+            powers[INT_RF] += extra
+            model.advance(20e-3, powers)
+            temps.append(model.block_temperature(INT_RF))
+        assert temps == sorted(temps)
+
+    def test_negative_dt_rejected(self):
+        model = make_model()
+        with pytest.raises(ThermalError):
+            model.advance(-1.0, leakage_powers(model))
+
+    def test_wrong_power_vector_length_rejected(self):
+        model = make_model()
+        with pytest.raises(ThermalError):
+            model.advance(1e-3, [1.0, 2.0])
+
+    def test_zero_dt_is_noop(self):
+        model = make_model()
+        before = model.temperatures()
+        model.advance(0.0, leakage_powers(model))
+        assert np.array_equal(model.temperatures(), before)
+
+
+class TestIdealSink:
+    def test_temperatures_pinned(self):
+        model = make_model(ideal_sink=True)
+        powers = leakage_powers(model)
+        powers[INT_RF] += 100.0
+        model.advance(1.0, powers)
+        assert np.allclose(
+            model.temperatures(), model.config.normal_operating_k
+        )
+
+
+class TestHeatSinkSweep:
+    def test_better_sink_lowers_all_temperatures(self):
+        """§5.5: convection resistance shifts the package operating point."""
+        temps = []
+        for r_conv in (0.65, 0.8, 0.95):
+            model = make_model(convection_resistance_k_per_w=r_conv)
+            temps.append(model.block_temperature(INT_RF))
+        assert temps == sorted(temps)
+
+    def test_die_network_is_sink_independent(self):
+        """The slope calibration must not silently re-tune the die when the
+        package changes (DESIGN.md §5.5 requirement)."""
+        base = make_model(convection_resistance_k_per_w=0.8)
+        better = make_model(convection_resistance_k_per_w=0.65)
+        assert np.allclose(base.r1, better.r1)
+        assert np.allclose(base.r3, better.r3)
+
+
+class TestSensors:
+    def test_emergency_crossing_counted_once_per_excursion(self):
+        model = make_model()
+        bank = SensorBank(model, emergency_k=model.config.emergency_k)
+        burst = leakage_powers(model)
+        burst[INT_RF] += 6.0
+        # Heat past emergency: exactly one upward crossing.
+        for cycle in range(400):
+            model.advance(1e-4, burst)
+            bank.sample(cycle)
+        assert bank.total_emergencies == 1
+        # Cool below, heat again: second crossing.
+        for cycle in range(400, 3000):
+            model.advance(1e-4, leakage_powers(model))
+            bank.sample(cycle)
+            if model.block_temperature(INT_RF) < 353.0:
+                break
+        for cycle in range(3000, 3400):
+            model.advance(1e-4, burst)
+            bank.sample(cycle)
+        assert bank.total_emergencies == 2
+        assert bank.emergencies_per_block[INT_RF] == 2
+
+    def test_peak_tracking(self):
+        model = make_model()
+        bank = SensorBank(model, emergency_k=358.0)
+        burst = leakage_powers(model)
+        burst[INT_RF] += 6.0
+        for cycle in range(300):
+            model.advance(1e-4, burst)
+            bank.sample(cycle)
+        assert bank.peak_k >= 358.0
+
+    def test_blocks_at_or_above(self):
+        model = make_model()
+        bank = SensorBank(model, emergency_k=358.0)
+        hot = bank.blocks_at_or_above(0.0)
+        assert len(hot) == NUM_BLOCKS
+        assert bank.blocks_at_or_above(1000.0) == []
+
+    def test_summary_names_blocks(self):
+        model = make_model()
+        bank = SensorBank(model, emergency_k=0.0)  # everything "hot"
+        bank._above_emergency = [False] * NUM_BLOCKS
+        bank.sample(0)
+        assert "int_rf" in bank.summary()
+
+    def test_reading_reports_hottest(self):
+        model = make_model()
+        bank = SensorBank(model, emergency_k=358.0)
+        reading = bank.sample(0)
+        assert reading.hottest_k == pytest.approx(
+            float(np.max(reading.temperatures))
+        )

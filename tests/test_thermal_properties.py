@@ -1,0 +1,89 @@
+"""Property-based thermal-model tests (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.blocks import NUM_BLOCKS
+from repro.config import ThermalConfig
+from repro.thermal import RCThermalModel
+
+powers_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+    min_size=NUM_BLOCKS,
+    max_size=NUM_BLOCKS,
+)
+
+
+def fresh_model():
+    return RCThermalModel(ThermalConfig())
+
+
+@given(powers_strategy, st.floats(min_value=1e-5, max_value=5e-3))
+@settings(max_examples=30, deadline=None)
+def test_temperatures_stay_finite_and_above_ambient(powers, dt):
+    model = fresh_model()
+    for _ in range(5):
+        model.advance(dt, powers)
+    temps = model.temperatures()
+    assert np.all(np.isfinite(temps))
+    assert np.all(temps > model.config.ambient_k)
+
+
+@given(powers_strategy)
+@settings(max_examples=30, deadline=None)
+def test_more_power_never_cools(powers):
+    """Pointwise monotonicity: adding power to one block cannot lower its
+    temperature over the same horizon."""
+    low = fresh_model()
+    high = fresh_model()
+    boosted = list(powers)
+    boosted[0] += 2.0
+    for _ in range(20):
+        low.advance(1e-3, powers)
+        high.advance(1e-3, boosted)
+    assert high.block_temperature(0) > low.block_temperature(0)
+
+
+@given(powers_strategy, st.integers(min_value=1, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_integration_is_step_size_insensitive(powers, splits):
+    """Advancing by dt once vs. in n equal chunks lands within tolerance
+    (substepping keeps forward Euler well-behaved)."""
+    total_dt = 2e-3
+    whole = fresh_model()
+    whole.advance(total_dt, powers)
+    chunked = fresh_model()
+    for _ in range(splits):
+        chunked.advance(total_dt / splits, powers)
+    assert np.allclose(whole.temperatures(), chunked.temperatures(), atol=0.05)
+
+
+@given(powers_strategy)
+@settings(max_examples=30, deadline=None)
+def test_bounded_by_steady_state(powers):
+    """No block overshoots its own steady-state temperature under constant
+    power (the network is a passive RC: monotone approach, no ringing)."""
+    model = fresh_model()
+    start = model.temperatures()
+    for _ in range(50):
+        model.advance(2e-3, powers)
+    temps = model.temperatures()
+    for block in range(NUM_BLOCKS):
+        steady = model.steady_state_block_temperature(
+            block, powers[block], model.t_sink
+        )
+        upper = max(start[block], steady) + 0.6
+        assert temps[block] <= upper
+
+
+@given(st.floats(min_value=0.55, max_value=0.9))
+@settings(max_examples=20, deadline=None)
+def test_sink_temperature_monotone_in_convection_resistance(r_conv):
+    """A worse sink always runs hotter.  (Sinks bad enough to push the
+    nominal package past the emergency point are rejected at construction —
+    a separate guard tested in test_thermal.py.)"""
+    better = RCThermalModel(ThermalConfig(convection_resistance_k_per_w=r_conv))
+    worse = RCThermalModel(
+        ThermalConfig(convection_resistance_k_per_w=r_conv + 0.05)
+    )
+    assert worse.nominal_sink_k > better.nominal_sink_k

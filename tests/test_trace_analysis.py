@@ -1,0 +1,74 @@
+"""Trace-analysis utility tests."""
+
+import pytest
+
+from repro.analysis.trace import excursions_above, strip_chart, trace_to_csv
+from repro.config import scaled_config
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+CFG = scaled_config(time_scale=8000.0, quantum_cycles=10_000)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    sim = Simulator(CFG.with_policy("stop_and_go"), workloads=["gzip", "variant2"])
+    return sim.run(trace=True).trace
+
+
+class TestStripChart:
+    def test_renders_requested_geometry(self, trace):
+        chart = strip_chart(trace, emergency_k=358.0, normal_k=354.0, width=40, rows=10)
+        lines = chart.splitlines()
+        assert len(lines) == 10
+        assert all("K" in line for line in lines)
+        assert "*" in chart
+
+    def test_reference_markers(self, trace):
+        chart = strip_chart(trace, emergency_k=358.0, normal_k=354.0)
+        # Markers appear when the temperature range covers them.
+        assert "E|" in chart or "N|" in chart or "|" in chart
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            strip_chart([])
+
+    def test_bad_column_rejected(self, trace):
+        with pytest.raises(SimulationError):
+            strip_chart(trace, column=5)
+
+
+class TestCsv:
+    def test_header_and_rows(self, trace):
+        csv = trace_to_csv(trace)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "cycle,hottest_k,int_rf_k"
+        assert len(lines) == len(trace) + 1
+        first = lines[1].split(",")
+        assert int(first[0]) == trace[0][0]
+
+
+class TestExcursions:
+    def test_synthetic_spans(self):
+        trace = [
+            (0, 350.0, 350.0),
+            (10, 357.0, 357.0),
+            (20, 358.5, 358.5),
+            (30, 358.2, 358.2),
+            (40, 353.0, 353.0),
+            (50, 358.6, 358.6),
+        ]
+        spans = excursions_above(trace, 358.0)
+        assert spans == [(20, 40), (50, 50)]
+
+    def test_no_excursions(self):
+        trace = [(0, 350.0, 350.0), (10, 351.0, 351.0)]
+        assert excursions_above(trace, 358.0) == []
+
+    def test_real_trace_has_emergency_excursions(self, trace):
+        spans = excursions_above(trace, 357.9, column=1)
+        assert len(spans) >= 1
+
+    def test_bad_column_rejected(self):
+        with pytest.raises(SimulationError):
+            excursions_above([(0, 1.0, 1.0)], 0.5, column=0)

@@ -1,0 +1,69 @@
+"""Calibration envelopes: solo IPC and access-rate targets (DESIGN.md §7).
+
+These tests check the *envelopes* the paper's figures depend on, not exact
+values: SPEC access rates sit below the attack burst rates, the hot subset
+sits near the top of the envelope, and IPCs span the expected range.
+"""
+
+import pytest
+
+from repro.blocks import INT_RF
+from repro.config import scaled_config
+from repro.sim import ExperimentRunner
+from repro.workloads import HOT_BENCHMARKS
+
+#: Representative subset (full-roster envelopes are validated by the
+#: Figure-3 benchmark).
+SUBSET = ["gzip", "crafty", "eon", "gcc", "mcf", "applu", "swim", "ammp"]
+
+
+@pytest.fixture(scope="module")
+def solo_results():
+    runner = ExperimentRunner(scaled_config(time_scale=4000.0, quantum_cycles=30_000))
+    return {
+        name: runner.solo(name, policy="ideal", ideal_sink=True) for name in SUBSET
+    }
+
+
+def test_spec_rates_below_attack_burst(solo_results):
+    """Figure 3: every SPEC flat average sits below ~6 accesses/cycle."""
+    for name, result in solo_results.items():
+        assert result.threads[0].access_rate(INT_RF) < 6.5, name
+
+
+def test_hot_benchmarks_top_the_envelope(solo_results):
+    hot = [n for n in SUBSET if n in HOT_BENCHMARKS]
+    cold = [n for n in SUBSET if n not in HOT_BENCHMARKS]
+    hottest_cold = max(
+        solo_results[n].threads[0].access_rate(INT_RF) for n in cold
+    )
+    for name in hot:
+        assert (
+            solo_results[name].threads[0].access_rate(INT_RF) > 0.75 * hottest_cold
+        ), name
+
+
+def test_ipc_range_spans_memory_bound_to_high_ilp(solo_results):
+    ipcs = {n: r.threads[0].ipc for n, r in solo_results.items()}
+    assert ipcs["mcf"] < 0.7  # memory bound
+    assert ipcs["gzip"] > 1.4  # high ILP
+    assert 0.7 < sum(ipcs.values()) / len(ipcs) < 1.9
+
+
+def test_memory_bound_profiles_use_memory(solo_results):
+    """mcf must actually miss in the L2, not just run slowly."""
+    mcf = solo_results["mcf"].threads[0]
+    gzip = solo_results["gzip"].threads[0]
+    from repro.blocks import L2
+
+    assert mcf.access_counts[L2] / max(1, mcf.committed) > (
+        gzip.access_counts[L2] / max(1, gzip.committed)
+    )
+
+
+def test_fp_benchmarks_heat_fp_register_file(solo_results):
+    from repro.blocks import FP_RF
+
+    applu = solo_results["applu"].threads[0]
+    gcc = solo_results["gcc"].threads[0]
+    assert applu.access_rate(FP_RF) > 4 * max(0.01, gcc.access_rate(FP_RF))
