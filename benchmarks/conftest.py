@@ -8,6 +8,9 @@ Environment knobs (all optional):
                            i.e. the paper's 125 ms quantum at the default scale)
 ``REPRO_BENCH_SET``        'subset' (default), 'full', or a comma-separated
                            list of benchmark names
+``REPRO_BENCH_JOBS``       worker processes for independent simulations
+                           (default 1 = serial); finished runs are reloaded
+                           from ``benchmarks/.repro_cache/`` either way
 
 Each benchmark prints the paper-style rows it reproduces and also writes
 them under ``benchmarks/results/`` so EXPERIMENTS.md can reference them.
@@ -37,6 +40,8 @@ def _env_int(name: str, default: int) -> int:
 
 BENCH_SCALE = _env_float("REPRO_BENCH_SCALE", 4000.0)
 BENCH_QUANTUM = _env_int("REPRO_BENCH_QUANTUM", 125_000)
+BENCH_JOBS = _env_int("REPRO_BENCH_JOBS", 1)
+BENCH_CACHE = Path(__file__).parent / ".repro_cache"
 
 
 def bench_set() -> list[str]:
@@ -60,8 +65,14 @@ def benchmarks_list():
 
 @pytest.fixture(scope="session")
 def runner(bench_config):
-    """One session-wide runner so figures share solo/pair runs."""
-    return ExperimentRunner(bench_config)
+    """One session-wide runner so figures share solo/pair runs.
+
+    Batched calls (``pair_many``/``run_batch``) fan out over
+    ``REPRO_BENCH_JOBS`` worker processes, and every finished simulation is
+    memoized on disk, so a re-run of the suite at the same knob settings
+    replays from the cache.
+    """
+    return ExperimentRunner(bench_config, jobs=BENCH_JOBS, cache_dir=BENCH_CACHE)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,100 @@
+"""Engine throughput: simulated cycles per wall second.
+
+Not a paper figure — the perf trajectory of the simulator itself.  Two
+representative single runs are timed end to end through ``Simulator.run``:
+
+* **attack** — gzip + variant2 under selective sedation (bursty power,
+  sedation FSM active, little idle time to skip);
+* **normal** — gcc + swim under stop-and-go (memory-bound SPEC pair, the
+  idle fast-forward's best case).
+
+Results go to ``benchmarks/results/BENCH_throughput.json`` so successive
+PRs can track cycles-per-second over time.  The ``baseline`` block holds
+the pre-fast-path numbers (forward-Euler substepping, no idle skip,
+recorded on the same class of machine) for the speedup column; current
+numbers are machine-dependent, so compare trends, not absolutes.
+
+Run directly (``python benchmarks/perf_throughput.py``) or via pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.config import scaled_config
+from repro.sim import run_workloads
+
+#: Pre-fast-path engine throughput (cycles/s) at these exact settings,
+#: measured before the exponential integrator / idle fast-forward landed.
+BASELINE = {
+    "attack_pair": {"workloads": ["gzip", "variant2"], "policy": "sedation",
+                    "cycles_per_second": 28_125.8},
+    "normal_pair": {"workloads": ["gcc", "swim"], "policy": "stop_and_go",
+                    "cycles_per_second": 40_282.1},
+}
+
+SCALE = 4000.0
+QUANTUM = 125_000
+
+
+def measure(workloads: list[str], policy: str) -> dict:
+    config = scaled_config(time_scale=SCALE, quantum_cycles=QUANTUM).with_policy(
+        policy
+    )
+    start = time.perf_counter()
+    result = run_workloads(config, workloads)
+    wall = time.perf_counter() - start
+    perf = result.perf
+    return {
+        "workloads": workloads,
+        "policy": policy,
+        "cycles": result.cycles,
+        "wall_seconds": round(wall, 4),
+        "cycles_per_second": round(result.cycles / wall, 1),
+        "stepped_cycles": perf.stepped_cycles,
+        "idle_skipped_cycles": perf.idle_skipped_cycles,
+        "stall_skipped_cycles": perf.stall_skipped_cycles,
+        "propagator_builds": perf.propagator_builds,
+    }
+
+
+def run() -> dict:
+    current = {
+        "attack_pair": measure(["gzip", "variant2"], "sedation"),
+        "normal_pair": measure(["gcc", "swim"], "stop_and_go"),
+    }
+    payload = {
+        "time_scale": SCALE,
+        "quantum_cycles": QUANTUM,
+        "baseline": BASELINE,
+        "current": current,
+        "speedup": {
+            key: round(
+                current[key]["cycles_per_second"]
+                / BASELINE[key]["cycles_per_second"],
+                2,
+            )
+            for key in BASELINE
+        },
+    }
+    out = Path(__file__).parent / "results" / "BENCH_throughput.json"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(payload, indent=1))
+    return payload
+
+
+def test_perf_throughput():
+    payload = run()
+    for key, row in payload["current"].items():
+        print(
+            f"{key}: {row['cycles_per_second']:,.0f} cyc/s "
+            f"({payload['speedup'][key]:.2f}x baseline)"
+        )
+        assert row["cycles"] == QUANTUM
+        assert row["cycles_per_second"] > 0
+
+
+if __name__ == "__main__":
+    print(json.dumps(run(), indent=1))

@@ -20,6 +20,10 @@ PAIRS = (
 
 
 def test_sec57_spec_pairs(runner, results_dir, benchmark):
+    # One batch dispatch for the full pairs × policies cross product: with
+    # REPRO_BENCH_JOBS=N the eight simulations run N-wide (and reload from
+    # the on-disk cache on repeat runs).  The pair() calls below hit the memo.
+    runner.pair_many(PAIRS, policies=("stop_and_go", "sedation"))
     rows = []
     ratios = []
     for a, b in PAIRS:

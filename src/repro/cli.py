@@ -49,6 +49,8 @@ def cmd_run(args) -> int:
     simulator = Simulator(config, workloads=args.workloads)
     result = simulator.run(trace=bool(args.output))
     print(result.summary())
+    if args.perf and result.perf is not None:
+        print(result.perf.summary())
     if args.output:
         save_result(result, args.output)
         print(f"saved to {args.output}")
@@ -68,7 +70,7 @@ def cmd_workloads(args) -> int:
 
 def cmd_attack(args) -> int:
     config = _config(args)
-    runner = ExperimentRunner(config)
+    runner = ExperimentRunner(config, jobs=args.jobs, cache_dir=args.cache_dir)
     solo = runner.solo(args.victim, policy="stop_and_go")
     attacked = runner.pair(args.victim, args.variant, policy="stop_and_go")
     defended = runner.pair(args.victim, args.variant, policy="sedation")
@@ -137,6 +139,8 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("ideal", "stop_and_go", "dvfs", "ttdfs", "fetch_gating", "sedation"))
     run.add_argument("--ideal-sink", action="store_true")
     run.add_argument("--output", help="save the result as JSON")
+    run.add_argument("--perf", action="store_true",
+                     help="print fast-path engine counters (cycles/s, skips)")
     _add_common(run)
     run.set_defaults(func=cmd_run)
 
@@ -147,6 +151,10 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--victim", default="gzip")
     attack.add_argument("--variant", default="variant2",
                         choices=MALICIOUS_VARIANTS)
+    attack.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for independent runs")
+    attack.add_argument("--cache-dir", default=None,
+                        help="on-disk result cache (e.g. .repro_cache)")
     _add_common(attack)
     attack.set_defaults(func=cmd_attack)
 

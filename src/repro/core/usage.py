@@ -30,10 +30,12 @@ class UsageMonitor:
         self.config = config
         self.sample_interval = config.sample_interval
         num_threads = len(core.threads)
-        self._ewma = [
-            [Ewma(config.ewma_shift) for _ in range(NUM_BLOCKS)]
-            for _ in range(num_threads)
-        ]
+        # Flat per-(thread, block) EWMA values: the update is one multiply
+        # and add, so Ewma objects would spend more time on method dispatch
+        # than arithmetic in the sample loop.  The blend factor matches
+        # :class:`~repro.core.ewma.Ewma` exactly (same float expression).
+        self._ewma_x = Ewma(config.ewma_shift).x
+        self._values = [[0.0] * NUM_BLOCKS for _ in range(num_threads)]
         self._last_counts = [list(counts) for counts in core.access_counts]
         self._last_cycle = core.cycle
         self.samples_taken = 0
@@ -49,16 +51,22 @@ class UsageMonitor:
         interval = cycle - self._last_cycle
         if interval <= 0:
             return
+        threads = self.core.threads
+        x = self._ewma_x
         for tid, counts in enumerate(self.core.access_counts):
             last = self._last_counts[tid]
-            if self.core.threads[tid].sedated:
+            if threads[tid].sedated:
                 last[:] = counts
                 continue
-            averages = self._ewma[tid]
+            values = self._values[tid]
             for block in range(NUM_BLOCKS):
-                rate = (counts[block] - last[block]) / interval
-                averages[block].update(rate)
-                last[block] = counts[block]
+                count = counts[block]
+                # Keep the division (not a reciprocal multiply): the EWMA
+                # feeds threshold comparisons, so results must stay bit-exact.
+                rate = (count - last[block]) / interval
+                value = values[block]
+                values[block] = value + (rate - value) * x
+                last[block] = count
         self._last_cycle = cycle
         self.samples_taken += 1
 
@@ -70,11 +78,15 @@ class UsageMonitor:
 
     def weighted_average(self, tid: int, block: int) -> float:
         """Current EWMA access rate of one thread at one resource."""
-        return self._ewma[tid][block].value
+        return self._values[tid][block]
+
+    def set_weighted_average(self, tid: int, block: int, value: float) -> None:
+        """Pin one EWMA value (tests use this to fix the usage ranking)."""
+        self._values[tid][block] = value
 
     def averages_at(self, block: int) -> list[float]:
         """EWMA of every thread at one resource, indexed by thread id."""
-        return [self._ewma[tid][block].value for tid in range(len(self._ewma))]
+        return [values[block] for values in self._values]
 
     def flat_average(self, tid: int, block: int) -> float:
         """Cumulative accesses / cycles — the metric Figure 3 plots.

@@ -61,9 +61,15 @@ class Cache:
 
     def lookup(self, address: int) -> bool:
         """Probe; on hit update recency and return True."""
-        set_index = self.set_index(address)
-        tag = self.line_address(address) // self.num_sets
-        entries = self._sets[set_index]
+        # line/set/tag computed inline: lookup is on the per-access hot path
+        # and the helper methods would derive the line address twice.
+        shift = self.line_shift
+        if shift is not None:
+            line = address >> shift
+        else:
+            line = address // self.config.line_bytes
+        entries = self._sets[line % self.num_sets]
+        tag = line // self.num_sets
         try:
             position = entries.index(tag)
         except ValueError:
@@ -75,9 +81,13 @@ class Cache:
 
     def fill(self, address: int) -> int | None:
         """Install the line containing ``address``; return evicted tag."""
-        set_index = self.set_index(address)
-        tag = self.line_address(address) // self.num_sets
-        entries = self._sets[set_index]
+        shift = self.line_shift
+        if shift is not None:
+            line = address >> shift
+        else:
+            line = address // self.config.line_bytes
+        entries = self._sets[line % self.num_sets]
+        tag = line // self.num_sets
         if tag in entries:
             return None
         return self._policy.on_fill(entries, tag, self.assoc)

@@ -1,0 +1,73 @@
+"""Fast-path instrumentation: where did the simulated cycles go?
+
+The fast-path engine (DESIGN.md §9) has three places it saves work — the
+idle fast-forward in the pipeline, global-stall skips, and the cached
+thermal propagator.  :class:`PerfCounters` records all of them per run so
+speedups are observable instead of anecdotal; it rides on
+:class:`~repro.sim.stats.RunResult` (excluded from equality — wall time is
+not a statistic) and is printed by ``python -m repro run --perf``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PerfCounters:
+    """Instrumentation for one simulated quantum."""
+
+    #: total simulated cycles covered by the run
+    cycles: int = 0
+    #: cycles executed through the full pipeline loop
+    stepped_cycles: int = 0
+    #: cycles fast-forwarded because the core was provably idle
+    idle_skipped_cycles: int = 0
+    #: cycles skipped wholesale (global stalls, DVFS throttle spans)
+    stall_skipped_cycles: int = 0
+    #: wall-clock seconds spent inside Simulator.run
+    wall_seconds: float = 0.0
+    #: exponential-propagator applications (thermal advances)
+    thermal_advances: int = 0
+    #: propagator cache misses (one eigenbasis matmul pair each)
+    propagator_builds: int = 0
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Simulated cycles per wall second — the throughput headline."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cycles / self.wall_seconds
+
+    @property
+    def skipped_fraction(self) -> float:
+        """Fraction of simulated cycles that never touched the pipeline loop."""
+        if self.cycles <= 0:
+            return 0.0
+        return (self.idle_skipped_cycles + self.stall_skipped_cycles) / self.cycles
+
+    def summary(self) -> str:
+        return (
+            f"perf: {self.cycles} cycles in {self.wall_seconds:.3f}s "
+            f"({self.cycles_per_second:,.0f} cyc/s) "
+            f"stepped={self.stepped_cycles} "
+            f"idle_skipped={self.idle_skipped_cycles} "
+            f"stall_skipped={self.stall_skipped_cycles} "
+            f"thermal_advances={self.thermal_advances} "
+            f"propagator_builds={self.propagator_builds}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "cycles": self.cycles,
+            "stepped_cycles": self.stepped_cycles,
+            "idle_skipped_cycles": self.idle_skipped_cycles,
+            "stall_skipped_cycles": self.stall_skipped_cycles,
+            "wall_seconds": self.wall_seconds,
+            "thermal_advances": self.thermal_advances,
+            "propagator_builds": self.propagator_builds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PerfCounters":
+        return cls(**payload)

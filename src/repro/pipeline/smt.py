@@ -109,6 +109,15 @@ class SMTCore:
             config.mem_ports,
             1 << 30,
         )
+        # Hot-loop bindings: these are re-read every cycle, so resolve the
+        # attribute chains once.
+        self._fetch_queue_size = config.fetch_queue_size
+        self._access_instruction = self.hierarchy.access_instruction
+        self._access_data = self.hierarchy.access_data
+        #: cycles fast-forwarded because the core was provably idle
+        self.perf_idle_skipped = 0
+        #: cycles skipped wholesale via :meth:`skip_cycles` (global stalls)
+        self.perf_stall_skipped = 0
 
     # -- external control (DTM hooks) ---------------------------------------
 
@@ -144,10 +153,80 @@ class SMTCore:
         self.cycle = cycle + 1
 
     def run_cycles(self, n: int) -> None:
-        """Step ``n`` cycles (convenience for tests and examples)."""
+        """Run ``n`` cycles, fast-forwarding provably idle stretches.
+
+        When the ready list is empty the core may be unable to do *any* work
+        for a while (every thread halted, sedated, miss-gated, or waiting on
+        a refill); :meth:`_idle_until` detects that and jumps the clock to
+        the next cycle at which anything can happen.  The skip is exact —
+        stepping through those cycles would not have changed any state —
+        so statistics are byte-identical with and without it.
+        """
+        if n <= 0:
+            return
+        target = self.cycle + n
         step = self.step
-        for _ in range(n):
+        while self.cycle < target:
+            if not self.ready:
+                resume = self._idle_until(self.cycle, target)
+                if resume > self.cycle:
+                    self.perf_idle_skipped += resume - self.cycle
+                    self.cycle = resume
+                    continue
             step()
+
+    def _idle_until(self, cycle: int, limit: int) -> int:
+        """Earliest cycle (≤ ``limit``) at which the pipeline could do work.
+
+        Returns ``cycle`` itself whenever work *may* happen now — the check
+        is conservative, so anything not provably idle steps normally.  Only
+        called with an empty ready list.  The bound never passes a
+        completion-wheel event, a fetch-unblock cycle, a decode-ready fetch
+        queue head, or a throttled thread's next eligible cycle; between
+        ``cycle`` and the bound, :meth:`step` would be a pure no-op.
+        """
+        bound = limit
+        for thread in self.threads:
+            rob = thread.rob
+            if rob and rob[0].done:
+                return cycle  # a commit would retire work this cycle
+            if thread.fetch_queue and thread.miss_block is None:
+                head_ready = thread.fetch_queue[0][0]
+                if head_ready <= cycle:
+                    return cycle  # dispatch may make progress now
+                if head_ready < bound:
+                    bound = head_ready
+            if (
+                thread.halted
+                or thread.sedated
+                or thread.miss_block is not None
+                or thread.mispredict_gate is not None
+            ):
+                continue
+            blocked_until = thread.fetch_blocked_until
+            if blocked_until > cycle:
+                if blocked_until < bound:
+                    bound = blocked_until
+                continue
+            modulus = thread.throttle_modulus
+            if not modulus:
+                return cycle  # thread is fetchable right now
+            remainder = cycle % modulus
+            if remainder == 0:
+                return cycle
+            eligible = cycle + modulus - remainder
+            if eligible < bound:
+                bound = eligible
+        # The wheel scan is O(in-flight span), so it runs only after every
+        # cheap per-thread check has failed to prove the core busy.
+        wheel = self._wheel
+        if wheel:
+            upcoming = min(wheel)
+            if upcoming <= cycle:
+                return cycle
+            if upcoming < bound:
+                bound = upcoming
+        return bound
 
     def skip_cycles(self, n: int) -> None:
         """Advance the clock without pipeline activity (global stall).
@@ -161,6 +240,7 @@ class SMTCore:
         if self._wheel:
             self._wheel = {when + n: uops for when, uops in self._wheel.items()}
         self.cycle += n
+        self.perf_stall_skipped += n
 
     # -- stages --------------------------------------------------------------
 
@@ -171,12 +251,24 @@ class SMTCore:
         the leftovers.  This is what lets a high-IPC thread monopolize fetch
         bandwidth under ICOUNT (the paper's variant1 side effect)."""
         config = self.config
-        max_queue = config.fetch_queue_size
-        runnable = [
-            t
-            for t in self.threads
-            if t.can_fetch(cycle) and len(t.fetch_queue) < max_queue
-        ]
+        max_queue = self._fetch_queue_size
+        # Inline ThreadContext.can_fetch: this test runs for every thread on
+        # every cycle, and the method-call overhead is measurable.
+        runnable = []
+        for t in self.threads:
+            if (
+                t.halted
+                or t.sedated
+                or t.miss_block is not None
+                or t.mispredict_gate is not None
+                or cycle < t.fetch_blocked_until
+                or len(t.fetch_queue) >= max_queue
+            ):
+                continue
+            modulus = t.throttle_modulus
+            if modulus and cycle % modulus:
+                continue
+            runnable.append(t)
         if not runnable:
             return
         selected = self._select(runnable, config.fetch_threads_per_cycle)
@@ -196,31 +288,34 @@ class SMTCore:
         counts = self.access_counts[thread.tid]
         counts[ICACHE] += 1
         source = thread.source
+        peek_pc = source.peek_pc
+        next_uop = source.next_uop
         queue = thread.fetch_queue
+        queue_append = queue.append
         line_bytes = self._l1i_line_bytes
-        budget = min(budget, self.config.fetch_queue_size - len(queue))
+        budget = min(budget, self._fetch_queue_size - len(queue))
         fetched = 0
         for _ in range(budget):
-            pc = source.peek_pc()
+            pc = peek_pc()
             if pc < 0:
                 thread.halted = True
                 return fetched
             line = pc // line_bytes
             if line != thread.last_fetch_line:
-                result = self.hierarchy.access_instruction(pc)
+                result = self._access_instruction(pc)
                 if result.level is not MemLevel.L1:
                     counts[L2] += 1
                     thread.fetch_blocked_until = cycle + result.latency
                     thread.last_fetch_line = line
                     return fetched
                 thread.last_fetch_line = line
-            uop = source.next_uop()
+            uop = next_uop()
             if uop is None:
                 thread.halted = True
                 return fetched
             uop.seq = thread.seq_counter
             thread.seq_counter += 1
-            queue.append((decode_ready, uop))
+            queue_append((decode_ready, uop))
             thread.icount += 1
             thread.fetched += 1
             fetched += 1
@@ -238,23 +333,30 @@ class SMTCore:
         budget = config.issue_width
         ruu_size = config.ruu_size
         lsq_size = config.lsq_size
+        window_cap = self._window_cap
+        dispatch_uop = self._dispatch_uop
         threads = self.threads
-        offset = cycle % len(threads)
-        for i in range(len(threads)):
-            thread = threads[(i + offset) % len(threads)]
+        num_threads = len(threads)
+        offset = cycle % num_threads
+        for i in range(num_threads):
+            thread = threads[(i + offset) % num_threads]
             if thread.miss_block is not None:
                 continue
             queue = thread.fetch_queue
+            if not queue:
+                continue
+            rob = thread.rob
+            popleft = queue.popleft
             while budget > 0 and queue:
                 ready_cycle, uop = queue[0]
                 if ready_cycle > cycle or self.window_used >= ruu_size:
                     break
-                if len(thread.rob) >= self._window_cap:
+                if len(rob) >= window_cap:
                     break
                 if uop.is_mem and self.lsq_used >= lsq_size:
                     break
-                queue.popleft()
-                self._dispatch_uop(uop, thread)
+                popleft()
+                dispatch_uop(uop, thread)
                 budget -= 1
                 if thread.miss_block is not None:
                     break
@@ -286,7 +388,7 @@ class SMTCore:
             counts[LSQ] += 1
             counts[DCACHE] += 1
             is_store = uop.opclass == OP_STORE
-            result = self.hierarchy.access_data(uop.address, is_store)
+            result = self._access_data(uop.address, is_store)
             if result.level is not MemLevel.L1:
                 counts[L2] += 1
             if is_store:
@@ -307,27 +409,33 @@ class SMTCore:
         budget = self.config.issue_width
         fu_left = list(self._fu_limits)
         wheel = self._wheel
+        wheel_get = wheel.get
         counts_by_thread = self.access_counts
+        resource_of = _RESOURCE_OF
+        exec_block_of = _EXEC_BLOCK_OF
+        fp_base = FP_BASE
         leftover: list[Uop] = []
+        leftover_append = leftover.append
         for index, uop in enumerate(ready):
-            resource = _RESOURCE_OF[uop.opclass]
+            opclass = uop.opclass
+            resource = resource_of[opclass]
             if fu_left[resource] <= 0:
-                leftover.append(uop)
+                leftover_append(uop)
                 continue
             fu_left[resource] -= 1
             budget -= 1
             counts = counts_by_thread[uop.thread]
             for src in uop.srcs:
-                counts[FP_RF if src >= FP_BASE else INT_RF] += 1
+                counts[FP_RF if src >= fp_base else INT_RF] += 1
             counts[WINDOW] += 1
-            exec_block = _EXEC_BLOCK_OF[uop.opclass]
+            exec_block = exec_block_of[opclass]
             if exec_block >= 0:
                 counts[exec_block] += 1
             if uop.is_mem:
                 counts[LSQ] += 1
             uop.issued = True
             when = cycle + uop.latency
-            bucket = wheel.get(when)
+            bucket = wheel_get(when)
             if bucket is None:
                 wheel[when] = [uop]
             else:

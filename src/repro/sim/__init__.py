@@ -2,16 +2,21 @@
 
 from .campaign import CampaignResult, QuantumRecord, run_campaign
 from .experiment import ExperimentRunner
+from .parallel import CampaignSpec, RunSpec, run_many, spec_fingerprint
 from .simulator import Simulator, run_workloads
 from .stats import RunResult, ThreadStats
 
 __all__ = [
     "CampaignResult",
+    "CampaignSpec",
     "ExperimentRunner",
     "RunResult",
+    "RunSpec",
+    "run_many",
     "run_workloads",
     "QuantumRecord",
     "run_campaign",
+    "spec_fingerprint",
     "Simulator",
     "ThreadStats",
 ]

@@ -9,24 +9,36 @@ Every figure in §5 is built from three run shapes:
 
 :class:`ExperimentRunner` provides those shapes plus a generic labeled sweep,
 with one shared base configuration so Table-1 parameters stay consistent
-across a whole experiment.
+across a whole experiment.  Given ``jobs`` and/or ``cache_dir`` it routes
+batches through :mod:`repro.sim.parallel` — independent runs execute in
+worker processes and finished runs reload from the on-disk cache; with
+neither, every call runs serially in-process exactly as before.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
+from pathlib import Path
 
 from ..config import SimulationConfig, scaled_config
-from .simulator import Simulator
 from .stats import RunResult
 
 
 class ExperimentRunner:
     """Runs labeled simulations against one base configuration."""
 
-    def __init__(self, base_config: SimulationConfig | None = None) -> None:
+    def __init__(
+        self,
+        base_config: SimulationConfig | None = None,
+        jobs: int | None = None,
+        cache_dir: str | Path | None = None,
+    ) -> None:
         self.base = base_config or scaled_config()
         self.results: dict[str, RunResult] = {}
+        #: worker processes per batch (None or 1 = serial, in-process)
+        self.jobs = jobs
+        #: on-disk result cache directory (None = no cache)
+        self.cache_dir = cache_dir
 
     # -- run shapes ---------------------------------------------------------
 
@@ -37,12 +49,44 @@ class ExperimentRunner:
         config: SimulationConfig | None = None,
     ) -> RunResult:
         """Run one labeled simulation (memoized by label)."""
-        if label in self.results:
-            return self.results[label]
-        simulator = Simulator(config or self.base, workloads=workloads)
-        result = simulator.run()
-        self.results[label] = result
-        return result
+        return self.run_batch([(label, workloads, config)])[label]
+
+    def run_batch(
+        self,
+        labeled: Iterable[tuple[str, Sequence[str], SimulationConfig | None]],
+    ) -> dict[str, RunResult]:
+        """Run a batch of labeled simulations and return *those* results.
+
+        Labels already memoized are served from memory; the rest go through
+        :func:`repro.sim.parallel.run_many` in one dispatch, so a batch of
+        N misses occupies N workers at once (and hits the on-disk cache when
+        the runner has one).  Duplicate labels within a batch run once.
+        """
+        items: list[tuple[str, list[str], SimulationConfig]] = []
+        for label, workloads, config in labeled:
+            items.append((label, list(workloads), config or self.base))
+        missing: list[tuple[str, list[str], SimulationConfig]] = []
+        seen: set[str] = set()
+        for label, workloads, config in items:
+            if label not in self.results and label not in seen:
+                seen.add(label)
+                missing.append((label, workloads, config))
+        if missing:
+            from .parallel import RunSpec, run_many
+
+            specs = [
+                RunSpec(workloads=tuple(workloads), config=config)
+                for _, workloads, config in missing
+            ]
+            fresh = run_many(
+                specs,
+                jobs=self.jobs or 1,
+                cache_dir=self.cache_dir,
+                cache=self.cache_dir is not None,
+            )
+            for (label, _, _), result in zip(missing, fresh):
+                self.results[label] = result
+        return {label: self.results[label] for label, _, _ in items}
 
     def solo(
         self, benchmark: str, policy: str = "stop_and_go", ideal_sink: bool = False
@@ -50,26 +94,13 @@ class ExperimentRunner:
         """A benchmark alone: the second context runs nothing.
 
         SMT with a single active thread is modeled by pairing the benchmark
-        with an immediately-halting idle context.
+        with the registry's immediately-halting ``"idle"`` context, so solo
+        runs are name-addressable and cache/worker-pool friendly like every
+        other shape.
         """
         config = self._configure(policy, ideal_sink)
         label = f"{benchmark}|solo|{config.dtm_policy}|{int(ideal_sink)}"
-        if label in self.results:
-            return self.results[label]
-        from ..isa.assembler import assemble
-        from ..workloads.program_source import ProgramSource
-        from ..workloads.registry import make_source
-
-        sources = [
-            make_source(benchmark, 0, config.machine, config.thermal, self.base.seed),
-            ProgramSource(assemble("halt", name="idle"), 1),
-        ]
-        simulator = Simulator(
-            config, workloads=[benchmark, "idle"], sources=sources
-        )
-        result = simulator.run()
-        self.results[label] = result
-        return result
+        return self.run(label, [benchmark, "idle"], config)
 
     def pair(
         self,
@@ -79,19 +110,51 @@ class ExperimentRunner:
         ideal_sink: bool = False,
     ) -> RunResult:
         """A benchmark co-scheduled with another workload (thread 0 = victim)."""
-        config = self._configure(policy, ideal_sink)
-        label = f"{benchmark}+{other}|{config.dtm_policy}|{int(ideal_sink)}"
-        return self.run(label, [benchmark, other], config)
+        label, workloads, config = self._pair_item(
+            benchmark, other, policy, ideal_sink
+        )
+        return self.run(label, workloads, config)
+
+    def pair_many(
+        self,
+        pairs: Iterable[tuple[str, str]],
+        policies: Sequence[str] = ("stop_and_go",),
+        ideal_sink: bool = False,
+    ) -> dict[tuple[str, str, str], RunResult]:
+        """Batch :meth:`pair` across pairs × policies in one dispatch.
+
+        This is the shape of the §5 sweeps: with ``jobs=N`` the whole cross
+        product runs N-wide instead of one simulation at a time.  Keys of
+        the returned dict are ``(benchmark, other, policy)``.
+        """
+        keyed: list[tuple[tuple[str, str, str], str]] = []
+        labeled = []
+        for benchmark, other in pairs:
+            for policy in policies:
+                item = self._pair_item(benchmark, other, policy, ideal_sink)
+                keyed.append(((benchmark, other, policy), item[0]))
+                labeled.append(item)
+        results = self.run_batch(labeled)
+        return {key: results[label] for key, label in keyed}
 
     def sweep(
         self, labeled: Iterable[tuple[str, list[str], SimulationConfig]]
     ) -> dict[str, RunResult]:
-        """Run a sequence of (label, workloads, config) simulations."""
-        for label, workloads, config in labeled:
-            self.run(label, workloads, config)
-        return self.results
+        """Run a sequence of (label, workloads, config) simulations.
+
+        Returns exactly the requested labels (the runner's whole memo is a
+        superset, available as ``self.results``).
+        """
+        return self.run_batch(labeled)
 
     # -- internals ----------------------------------------------------------
+
+    def _pair_item(
+        self, benchmark: str, other: str, policy: str, ideal_sink: bool
+    ) -> tuple[str, list[str], SimulationConfig]:
+        config = self._configure(policy, ideal_sink)
+        label = f"{benchmark}+{other}|{config.dtm_policy}|{int(ideal_sink)}"
+        return label, [benchmark, other], config
 
     def _configure(self, policy: str, ideal_sink: bool) -> SimulationConfig:
         config = self.base.with_policy(policy)

@@ -1,0 +1,273 @@
+"""Parallel, cached experiment execution.
+
+Every simulation in this package is a pure function of its configuration:
+sources are seeded from ``config.seed``, sensor noise from the config's
+noise seed, and workload streams from process-independent hashes.  That
+makes two things safe that are normally hazardous for simulators:
+
+* **fan-out** — independent runs can execute in worker processes
+  (``ProcessPoolExecutor``) and are guaranteed to produce byte-identical
+  statistics to the serial path;
+* **memoization on disk** — a run is keyed by a SHA-256 fingerprint of its
+  entire configuration plus workload list, so finished results can be
+  reloaded from ``.repro_cache/`` instead of re-simulated, across
+  interpreter invocations.
+
+:func:`run_many` combines both: consult the cache, dispatch only the
+misses, store what came back, and return results in input order.  The
+experiment harness (:class:`~repro.sim.experiment.ExperimentRunner`) and
+:func:`~repro.sim.campaign.run_campaign` route through it when given a
+cache directory and/or a job count.
+
+The fingerprint includes a schema number and the result-format version:
+bump either and old cache entries are silently ignored (never misread).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..config import SimulationConfig
+from .campaign import CampaignResult, QuantumRecord, run_campaign
+from .results import FORMAT_VERSION, result_from_dict, result_to_dict
+from .simulator import run_workloads
+from .stats import RunResult
+
+#: Cache-key schema.  Bump when the fingerprint inputs or the cached
+#: payload shape change incompatibly.
+CACHE_SCHEMA = 1
+
+#: Default on-disk cache location (relative to the current directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Environment variable consulted for the default worker count.
+JOBS_ENV = "REPRO_BENCH_JOBS"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation: workloads + config (+ quantum/trace).
+
+    Frozen and built from picklable parts so it can cross a process
+    boundary and be fingerprinted deterministically.
+    """
+
+    workloads: tuple[str, ...]
+    config: SimulationConfig
+    quantum_cycles: int | None = None
+    trace: bool = False
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One independent multi-quantum campaign (state persists across quanta
+    *within* the campaign; campaigns are independent of each other)."""
+
+    workloads: tuple[str, ...]
+    config: SimulationConfig
+    quanta: int
+    quantum_cycles: int | None = None
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_BENCH_JOBS`` if set, else a modest CPU share."""
+    raw = os.environ.get(JOBS_ENV)
+    if raw:
+        return max(1, int(raw))
+    return min(4, os.cpu_count() or 1)
+
+
+def spec_fingerprint(spec: RunSpec | CampaignSpec) -> str:
+    """Deterministic SHA-256 key for one spec.
+
+    Hashes the *entire* configuration tree (``dataclasses.asdict``), so any
+    parameter change — thermal constants, cache geometry, seeds — yields a
+    different key.  JSON with sorted keys keeps the byte stream stable
+    across interpreter runs; there is deliberately no ``default=`` hook, so
+    a non-JSON-able config field is a loud error rather than a silently
+    unstable key.
+    """
+    payload: dict = {
+        "schema": CACHE_SCHEMA,
+        "result_format": FORMAT_VERSION,
+        "kind": type(spec).__name__,
+        "config": dataclasses.asdict(spec.config),
+        "workloads": list(spec.workloads),
+        "quantum_cycles": spec.quantum_cycles,
+    }
+    if isinstance(spec, RunSpec):
+        payload["trace"] = spec.trace
+    else:
+        payload["quanta"] = spec.quanta
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# -- worker entry point ------------------------------------------------------
+
+
+def _execute(spec: RunSpec | CampaignSpec) -> RunResult | CampaignResult:
+    """Run one spec.  Module-level so ProcessPoolExecutor can pickle it."""
+    if isinstance(spec, CampaignSpec):
+        return run_campaign(
+            spec.config,
+            list(spec.workloads),
+            spec.quanta,
+            quantum_cycles=spec.quantum_cycles,
+        )
+    return run_workloads(
+        spec.config,
+        list(spec.workloads),
+        quantum_cycles=spec.quantum_cycles,
+        trace=spec.trace,
+    )
+
+
+# -- on-disk cache -----------------------------------------------------------
+
+
+def _campaign_to_dict(campaign: CampaignResult) -> dict:
+    return {
+        "workloads": list(campaign.workloads),
+        "policy": campaign.policy,
+        "quanta": [
+            {
+                "index": record.index,
+                "committed": list(record.committed),
+                "ipc": list(record.ipc),
+                "emergencies": record.emergencies,
+                "sedations": record.sedations,
+            }
+            for record in campaign.quanta
+        ],
+        "final": result_to_dict(campaign.final),
+    }
+
+
+def _campaign_from_dict(payload: dict) -> CampaignResult:
+    return CampaignResult(
+        workloads=tuple(payload["workloads"]),
+        policy=payload["policy"],
+        quanta=tuple(
+            QuantumRecord(
+                index=record["index"],
+                committed=tuple(record["committed"]),
+                ipc=tuple(record["ipc"]),
+                emergencies=record["emergencies"],
+                sedations=record["sedations"],
+            )
+            for record in payload["quanta"]
+        ),
+        final=result_from_dict(payload["final"]),
+    )
+
+
+def _cache_path(cache_dir: Path, key: str) -> Path:
+    return cache_dir / f"{key}.json"
+
+
+def _cache_load(
+    cache_dir: Path | None, key: str
+) -> RunResult | CampaignResult | None:
+    if cache_dir is None:
+        return None
+    path = _cache_path(cache_dir, key)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    try:
+        if payload.get("fingerprint") != key:
+            return None
+        if payload["kind"] == "campaign":
+            return _campaign_from_dict(payload["result"])
+        return result_from_dict(payload["result"])
+    except Exception:
+        # A corrupt or stale-format entry is a miss, not a crash.
+        return None
+
+
+def _cache_store(
+    cache_dir: Path | None,
+    key: str,
+    spec: RunSpec | CampaignSpec,
+    result: RunResult | CampaignResult,
+) -> None:
+    if cache_dir is None:
+        return
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    if isinstance(result, CampaignResult):
+        body: dict = {"kind": "campaign", "result": _campaign_to_dict(result)}
+    else:
+        body = {"kind": "run", "result": result_to_dict(result)}
+    body["fingerprint"] = key
+    body["workloads"] = list(spec.workloads)
+    path = _cache_path(cache_dir, key)
+    # Atomic publish: concurrent writers (parallel pytest sessions) race
+    # benignly — both write identical bytes and os.replace is atomic.
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(body, separators=(",", ":")))
+    os.replace(tmp, path)
+
+
+# -- the batch runner --------------------------------------------------------
+
+
+def run_many(
+    specs: Iterable[RunSpec | CampaignSpec],
+    jobs: int | None = None,
+    cache_dir: str | Path | None = DEFAULT_CACHE_DIR,
+    cache: bool = True,
+) -> list[RunResult | CampaignResult]:
+    """Run a batch of specs, in parallel, through the on-disk cache.
+
+    Results come back in input order.  Cache hits never touch a worker;
+    duplicate specs within one batch execute once.  ``jobs=None`` uses
+    :func:`default_jobs` (the ``REPRO_BENCH_JOBS`` environment variable);
+    ``jobs<=1`` or a single miss runs in-process, so small batches carry no
+    pool-spawn overhead.  ``cache=False`` (or ``cache_dir=None``) disables
+    the disk cache entirely.
+    """
+    spec_list = list(specs)
+    directory = Path(cache_dir) if (cache and cache_dir is not None) else None
+
+    results: list[RunResult | CampaignResult | None] = [None] * len(spec_list)
+    order: list[str] = []  # first-seen fingerprints still to execute
+    pending: dict[str, list[int]] = {}  # fingerprint -> indices needing it
+    for index, spec in enumerate(spec_list):
+        key = spec_fingerprint(spec)
+        if key in pending:
+            pending[key].append(index)
+            continue
+        hit = _cache_load(directory, key)
+        if hit is not None:
+            results[index] = hit
+        else:
+            pending[key] = [index]
+            order.append(key)
+
+    if order:
+        todo: Sequence[RunSpec | CampaignSpec] = [
+            spec_list[pending[key][0]] for key in order
+        ]
+        workers = default_jobs() if jobs is None else max(1, jobs)
+        if workers <= 1 or len(todo) == 1:
+            fresh = [_execute(spec) for spec in todo]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(todo))
+            ) as pool:
+                fresh = list(pool.map(_execute, todo))
+        for key, spec, result in zip(order, todo, fresh):
+            _cache_store(directory, key, spec, result)
+            for index in pending[key]:
+                results[index] = result
+
+    return results  # type: ignore[return-value]  # every slot is filled

@@ -11,6 +11,7 @@ import json
 from pathlib import Path
 
 from ..errors import SimulationError
+from ..perf import PerfCounters
 from .stats import RunResult, ThreadStats
 
 FORMAT_VERSION = 1
@@ -45,6 +46,9 @@ def result_to_dict(result: RunResult) -> dict:
             for t in result.threads
         ],
         "trace": [list(row) for row in result.trace],
+        # Optional diagnostics: absent from pre-perf archives, which stay
+        # loadable (the key simply round-trips as None).
+        "perf": result.perf.to_dict() if result.perf is not None else None,
     }
 
 
@@ -67,6 +71,12 @@ def result_from_dict(payload: dict) -> RunResult:
         )
         for t in payload["threads"]
     )
+    perf_payload = payload.get("perf")
+    perf = (
+        PerfCounters.from_dict(perf_payload)
+        if perf_payload is not None
+        else None
+    )
     return RunResult(
         workloads=tuple(payload["workloads"]),
         policy=payload["policy"],
@@ -79,6 +89,7 @@ def result_from_dict(payload: dict) -> RunResult:
         safety_net_engagements=payload["safety_net_engagements"],
         stall_engagements=payload["stall_engagements"],
         trace=tuple(tuple(row) for row in payload["trace"]),
+        perf=perf,
     )
 
 

@@ -14,12 +14,15 @@ throttle cycles), *sedated* (fetch gated by selective sedation).
 
 from __future__ import annotations
 
+import time
+
 from ..config import SimulationConfig
 from ..core.reporting import OSReportLog
 from ..core.sedation import SelectiveSedationController
 from ..core.usage import UsageMonitor
 from ..dtm import DTMPolicy, DVFS, FetchGating, SedationPolicy, StopAndGo, TTDFS
 from ..errors import SimulationError
+from ..perf import PerfCounters
 from ..pipeline.smt import SMTCore
 from ..pipeline.source import UopSource
 from ..power import EnergyModel, PowerAccountant
@@ -140,6 +143,7 @@ class Simulator:
         # Snapshot cumulative counters so the result reports THIS run only
         # (simulators may be run for several consecutive quanta).
         baseline = self._snapshot()
+        wall_start = time.perf_counter()
 
         while core.cycle < target:
             if policy.global_stall:
@@ -178,7 +182,8 @@ class Simulator:
                     )
                 next_sensor += sensor_interval
 
-        return self._collect(start, baseline, trace_rows)
+        wall_seconds = time.perf_counter() - wall_start
+        return self._collect(start, baseline, trace_rows, wall_seconds)
 
     def _snapshot(self) -> dict:
         policy = self.policy
@@ -204,6 +209,12 @@ class Simulator:
             "sedations": sedations,
             "safety_nets": safety_nets,
             "engagements": policy.engagements,
+            "perf": (
+                self.core.perf_idle_skipped,
+                self.core.perf_stall_skipped,
+                self.thermal.perf_advances,
+                self.thermal.perf_propagator_builds,
+            ),
         }
 
     def _run_span(self, span: int) -> None:
@@ -247,10 +258,24 @@ class Simulator:
         start: int,
         baseline: dict,
         trace_rows: list[tuple[int, float, float]],
+        wall_seconds: float = 0.0,
     ) -> RunResult:
         core = self.core
         cycles = core.cycle - start
         current = self._snapshot()
+        idle_skipped, stall_skipped, advances, builds = (
+            now - before
+            for now, before in zip(current["perf"], baseline["perf"])
+        )
+        perf = PerfCounters(
+            cycles=cycles,
+            stepped_cycles=cycles - idle_skipped - stall_skipped,
+            idle_skipped_cycles=idle_skipped,
+            stall_skipped_cycles=stall_skipped,
+            wall_seconds=wall_seconds,
+            thermal_advances=advances,
+            propagator_builds=builds,
+        )
         threads = tuple(
             ThreadStats(
                 thread=t.tid,
@@ -290,6 +315,7 @@ class Simulator:
             ),
             stall_engagements=current["engagements"] - baseline["engagements"],
             trace=tuple(trace_rows),
+            perf=perf,
         )
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..blocks import INT_RF, NUM_BLOCKS, block_name
+from ..perf import PerfCounters
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,9 @@ class RunResult:
     safety_net_engagements: int
     stall_engagements: int
     trace: tuple[tuple[int, float, float], ...] = field(default=())
+    #: fast-path instrumentation; excluded from equality — wall time is not
+    #: a statistic, and cached results must compare equal to fresh ones.
+    perf: PerfCounters | None = field(default=None, compare=False)
 
     def thread(self, tid: int) -> ThreadStats:
         return self.threads[tid]

@@ -145,6 +145,13 @@ class RCThermalModel:
         self.t_local = np.empty(NUM_BLOCKS)
         self.t_deep = np.empty(NUM_BLOCKS)
         self.t_sink = 0.0
+        self._build_propagator_basis()
+        #: per-``dt`` cache of (state propagator, input propagator) pairs;
+        #: sensor intervals repeat, so in practice this holds a handful of
+        #: entries and every advance after the first is two matvecs.
+        self._propagators: dict[float, tuple[np.ndarray, np.ndarray]] = {}
+        self.perf_advances = 0
+        self.perf_propagator_builds = 0
         self.reset()
 
     # -- state ----------------------------------------------------------------
@@ -185,12 +192,113 @@ class RCThermalModel:
 
     # -- integration ------------------------------------------------------------
 
+    def _build_propagator_basis(self) -> None:
+        """Eigendecompose the network once; propagators per ``dt`` follow.
+
+        The full network (3 nodes per block plus the shared sink) is a linear
+        ODE ``C dT/dt = -K T + s`` with a symmetric positive-definite
+        conductance matrix ``K`` (pairwise couplings through r1/r2/r3,
+        grounded through the convection resistance).  Substituting
+        ``y = sqrt(C) T`` symmetrizes the state matrix, so one ``eigh`` gives
+        real negative modes, and the exact interval propagators
+
+            E(dt) = exp(A dt),   F(dt) = A^{-1} (E(dt) - I) C^{-1}
+
+        are diagonal in that basis — any span advances in O(1) regardless of
+        how many Euler substeps it would have needed.
+        """
+        n = NUM_BLOCKS
+        dim = 3 * n + 1
+        sink = 3 * n
+        capacitance = np.empty(dim)
+        capacitance[0:n] = self.c_block
+        capacitance[n : 2 * n] = self.c_local
+        capacitance[2 * n : 3 * n] = self.c_deep
+        capacitance[sink] = self.package.sink_capacitance_j_per_k
+
+        conductance = np.zeros((dim, dim))
+        for layer, resistances in enumerate((self.r1, self.r2, self.r3)):
+            for block in range(n):
+                a = layer * n + block
+                b = a + n if layer < 2 else sink
+                g = 1.0 / resistances[block]
+                conductance[a, a] += g
+                conductance[b, b] += g
+                conductance[a, b] -= g
+                conductance[b, a] -= g
+        conductance[sink, sink] += 1.0 / self.package.convection_resistance_k_per_w
+
+        sqrt_c = np.sqrt(capacitance)
+        symmetric = -conductance / np.outer(sqrt_c, sqrt_c)
+        eigenvalues, eigenvectors = np.linalg.eigh(symmetric)
+        # Row/column scalings that undo the sqrt(C) substitution.
+        self._modes = eigenvalues
+        self._basis = eigenvectors / sqrt_c[:, None]
+        self._basis_t_state = eigenvectors.T * sqrt_c[None, :]
+        self._basis_t_input = eigenvectors.T / sqrt_c[None, :]
+        self._state_dim = dim
+        self._sink_index = sink
+
+    def _propagator(self, dt_seconds: float) -> tuple[np.ndarray, np.ndarray]:
+        pair = self._propagators.get(dt_seconds)
+        if pair is None:
+            modes = self._modes
+            decay = np.exp(modes * dt_seconds)
+            state_prop = self._basis @ (decay[:, None] * self._basis_t_state)
+            gain = np.expm1(modes * dt_seconds) / modes
+            input_prop = self._basis @ (gain[:, None] * self._basis_t_input)
+            if len(self._propagators) >= 64:
+                self._propagators.clear()
+            pair = (state_prop, input_prop)
+            self._propagators[dt_seconds] = pair
+            self.perf_propagator_builds += 1
+        return pair
+
     def advance(self, dt_seconds: float, block_powers: list[float]) -> None:
         """Integrate the network forward by ``dt_seconds`` of thermal time.
 
         ``block_powers`` are average watts per block over the interval (the
-        accountant's output).  Uses forward Euler with automatic substepping
-        to stay well inside the stability region of the fastest node.
+        accountant's output, piecewise-constant over the span).  Uses the
+        exact exponential propagator — closed form for any ``dt``, cached per
+        distinct ``dt`` (see :meth:`_build_propagator_basis`).
+        """
+        if dt_seconds < 0:
+            raise ThermalError("cannot integrate backwards in time")
+        if dt_seconds == 0:
+            return
+        if self.package.ideal:
+            return
+        if len(block_powers) != NUM_BLOCKS:
+            raise ThermalError("need one power entry per block")
+
+        n = NUM_BLOCKS
+        state = np.empty(self._state_dim)
+        state[0:n] = self.t_block
+        state[n : 2 * n] = self.t_local
+        state[2 * n : 3 * n] = self.t_deep
+        state[self._sink_index] = self.t_sink
+
+        source = np.zeros(self._state_dim)
+        source[0:n] = block_powers
+        source[self._sink_index] = (
+            self.energy.other_power_w
+            + self.config.ambient_k / self.package.convection_resistance_k_per_w
+        )
+
+        state_prop, input_prop = self._propagator(dt_seconds)
+        state = state_prop @ state + input_prop @ source
+        self.perf_advances += 1
+
+        self.t_block = state[0:n].copy()
+        self.t_local = state[n : 2 * n].copy()
+        self.t_deep = state[2 * n : 3 * n].copy()
+        self.t_sink = float(state[self._sink_index])
+
+    def advance_euler(self, dt_seconds: float, block_powers: list[float]) -> None:
+        """Forward-Euler reference integrator (substeps at τ_block/4).
+
+        Kept as the ground truth the exact propagator is pinned against
+        (tests/test_fastpath.py); the fast path must match it to <0.05 K.
         """
         if dt_seconds < 0:
             raise ThermalError("cannot integrate backwards in time")

@@ -32,7 +32,18 @@ def make_source(
     thermal: ThermalConfig,
     seed: int = 42,
 ) -> UopSource:
-    """Instantiate the workload ``name`` on hardware context ``thread_id``."""
+    """Instantiate the workload ``name`` on hardware context ``thread_id``.
+
+    ``"idle"`` resolves to an immediately-halting context (how a solo
+    benchmark occupies the second SMT slot).  It is addressable by name so
+    solo runs can be described — and therefore cached and dispatched to
+    worker processes — as plain workload-name lists, but it is not listed in
+    :func:`workload_names` because it is not a benchmark.
+    """
+    if name == "idle":
+        from ..isa.assembler import assemble
+
+        return ProgramSource(assemble("halt", name="idle"), thread_id)
     if name in MALICIOUS_VARIANTS:
         return ProgramSource(build_variant(name, machine, thermal), thread_id)
     if name in SPEC_PROFILES:

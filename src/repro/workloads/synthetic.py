@@ -15,6 +15,8 @@ so runs are exactly reproducible.
 from __future__ import annotations
 
 import random
+import zlib
+from math import log as _log
 
 from ..isa.registers import FP_BASE
 from ..pipeline.uop import (
@@ -57,7 +59,22 @@ class SyntheticSource:
     ) -> None:
         self.profile = profile
         self.thread_id = thread_id
-        self._rng = random.Random((seed << 8) ^ thread_id ^ hash(profile.name))
+        # crc32, not hash(): builtin str hashing is salted per process, which
+        # would make the same (profile, seed, thread) produce different
+        # streams in different interpreter runs — fatal for the on-disk
+        # result cache and for comparing serial against worker-pool runs.
+        name_hash = zlib.crc32(profile.name.encode())
+        self._rng = random.Random((seed << 8) ^ thread_id ^ name_hash)
+        # Hot-loop bindings: next_uop runs once per fetched instruction, so
+        # the RNG methods and the profile fields it draws against are bound
+        # once here.  The *sequence* of RNG calls is unchanged — streams stay
+        # byte-identical with the unoptimized generator.
+        self._random = self._rng.random
+        self._randrange = self._rng.randrange
+        self._dep_fraction = profile.dep_fraction
+        self._taken_rate = profile.taken_rate
+        self._mispredict_rate = profile.mispredict_rate
+        self._is_fp = profile.is_fp
         # Cumulative class thresholds, most frequent first for a short scan.
         classes = [
             (profile.ialu, OP_IALU),
@@ -125,11 +142,10 @@ class SyntheticSource:
         return self._pc
 
     def next_uop(self) -> Uop:
-        rng = self._rng
-        profile = self.profile
+        random_draw = self._random
         if self._next_burst >= 0:
             self._advance_phase()
-        draw = rng.random()
+        draw = random_draw()
         opclass = OP_NOP
         for cumulative, code in self._thresholds:
             if draw < cumulative:
@@ -156,20 +172,20 @@ class SyntheticSource:
             # sources: address computations sit on the chains (pointer
             # chasing), which is what makes loads latency-critical.
             srcs = (self._pick_src(False),)
-            dest = self._next_dest(profile.is_fp and rng.random() < 0.7)
+            dest = self._next_dest(self._is_fp and random_draw() < 0.7)
             address = self._pick_address()
             self._pc = pc + 4
         elif opclass == OP_STORE:
             srcs = (
-                self._pick_src(profile.is_fp and rng.random() < 0.5),
+                self._pick_src(self._is_fp and random_draw() < 0.5),
                 self._pick_src(False),
             )
             address = self._pick_address()
             self._pc = pc + 4
         elif opclass == OP_BRANCH:
             srcs = (self._pick_src(False),)
-            taken = rng.random() < profile.taken_rate
-            mispredict = rng.random() < profile.mispredict_rate
+            taken = random_draw() < self._taken_rate
+            mispredict = random_draw() < self._mispredict_rate
             if taken:
                 self._taken_count += 1
                 if self._taken_count >= self._loop_trip:
@@ -184,14 +200,7 @@ class SyntheticSource:
 
         self.generated += 1
         return Uop(
-            self.thread_id,
-            pc,
-            opclass,
-            dest=dest,
-            srcs=srcs,
-            address=address,
-            taken=taken,
-            mispredict=mispredict,
+            self.thread_id, pc, opclass, dest, srcs, address, taken, mispredict
         )
 
     # -- internals ------------------------------------------------------------
@@ -212,14 +221,14 @@ class SyntheticSource:
 
     def _new_loop(self, pc: int) -> None:
         """Finish the current loop episode: drift forward or jump far."""
-        rng = self._rng
-        if rng.random() < self._far_jump_prob:
-            self._loop_base = self._code_base + 4 * rng.randrange(self._code_words)
+        if self._random() < self._far_jump_prob:
+            self._loop_base = self._code_base + 4 * self._randrange(self._code_words)
         else:
             next_pc = pc + 4
             limit = self._code_base + 4 * self._code_words
             self._loop_base = next_pc if next_pc < limit else self._code_base
-        self._loop_trip = 1 + int(rng.expovariate(1.0 / 24.0))
+        # Inlined expovariate(1/24) — same float sequence, bit-exact.
+        self._loop_trip = 1 + int(-_log(1.0 - self._random()) / (1.0 / 24.0))
 
     def prefill(self, hierarchy) -> None:
         """Warm the caches with this thread's resident working set.
@@ -243,11 +252,11 @@ class SyntheticSource:
             hierarchy.l2.fill(address)
 
     def _next_dest(self, fp: bool) -> int:
-        index = self._dest_counter % _NUM_DESTS
-        self._dest_counter += 1
+        index = self._dest_counter
+        self._dest_counter = index + 1 if index + 1 < _NUM_DESTS else 0
         reg = (FP_BASE + index) if fp else index
         pos = self._ring_pos
-        self._ring_pos = (pos + 1) % _RING_SIZE
+        self._ring_pos = pos + 1 if pos + 1 < _RING_SIZE else 0
         if fp:
             self._fp_ring[pos] = reg
             self._int_ring[pos] = self._int_ring[pos - 1]
@@ -257,24 +266,26 @@ class SyntheticSource:
         return reg
 
     def _pick_src(self, fp: bool) -> int:
-        rng = self._rng
-        if rng.random() < self.profile.dep_fraction:
-            distance = 1 + int(rng.expovariate(1.0 / self._dep_lambda))
+        if self._random() < self._dep_fraction:
+            # Inlined random.expovariate(1.0 / dep_lambda) — identical float
+            # operation sequence, so the drawn values are bit-exact.
+            distance = 1 + int(
+                -_log(1.0 - self._random()) / (1.0 / self._dep_lambda)
+            )
             if distance >= _RING_SIZE:
                 distance = _RING_SIZE - 1
             ring = self._fp_ring if fp else self._int_ring
-            return ring[(self._ring_pos - distance) % _RING_SIZE]
+            return ring[(self._ring_pos - distance) & (_RING_SIZE - 1)]
         far = _FAR_FP_REGS if fp else _FAR_INT_REGS
-        return far[rng.randrange(len(far))]
+        return far[self._randrange(len(far))]
 
     def _pick_address(self) -> int:
-        rng = self._rng
         profile = self.profile
-        draw = rng.random()
+        draw = self._random()
         if draw < profile.p_cold:
             address = self._cold_next
             self._cold_next = address + _LINE
             return address
         if draw < profile.p_cold + profile.p_warm:
-            return self._warm_base + _LINE * rng.randrange(self._warm_lines)
-        return self._hot_base + _LINE * rng.randrange(self._hot_lines)
+            return self._warm_base + _LINE * self._randrange(self._warm_lines)
+        return self._hot_base + _LINE * self._randrange(self._hot_lines)

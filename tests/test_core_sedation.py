@@ -177,7 +177,7 @@ class TestSedationFSM:
         # Pin the usage ranking (thread 0 is the low-usage victim) so the
         # test is independent of fetch-arbitration details.
         for tid, value in ((0, 1.0), (1, 9.0), (2, 8.0)):
-            monitor._ewma[tid][INT_RF].value = value
+            monitor.set_weighted_average(tid, INT_RF, value)
         controller.on_sensor(reading(core.cycle, 356.5))
         assert len(controller.sedated_threads()) == 1
         # Deadline is 2 * 1000 cycles after the trigger.
