@@ -8,6 +8,14 @@ representative single runs are timed end to end through ``Simulator.run``:
 * **normal** — gcc + swim under stop-and-go (memory-bound SPEC pair, the
   idle fast-forward's best case).
 
+A third measurement re-runs the attack pair with a ``TelemetrySession``
+attached and asserts the **telemetry overhead guard**: the instrumented
+run must stay within ``OVERHEAD_TOLERANCE`` of the plain run's
+throughput.  The plain path contains no telemetry code at all (only
+``None`` checks), so this bounds what observability costs when *on* and
+documents that it costs nothing when off.  Both sides are best-of-N to
+keep the ratio out of wall-clock noise.
+
 Results go to ``benchmarks/results/BENCH_throughput.json`` so successive
 PRs can track cycles-per-second over time.  The ``baseline`` block holds
 the pre-fast-path numbers (forward-Euler substepping, no idle skip,
@@ -25,6 +33,7 @@ from pathlib import Path
 
 from repro.config import scaled_config
 from repro.sim import run_workloads
+from repro.telemetry import TelemetrySession
 
 #: Pre-fast-path engine throughput (cycles/s) at these exact settings,
 #: measured before the exponential integrator / idle fast-forward landed.
@@ -38,16 +47,24 @@ BASELINE = {
 SCALE = 4000.0
 QUANTUM = 125_000
 
+#: Maximum fractional throughput loss an attached TelemetrySession may
+#: cost on the attack pair (the event-heaviest scenario).
+OVERHEAD_TOLERANCE = 0.03
 
-def measure(workloads: list[str], policy: str) -> dict:
+#: Runs per side of the overhead comparison (best-of-N wall time).
+OVERHEAD_REPEATS = 3
+
+
+def measure(workloads: list[str], policy: str, telemetry: bool = False) -> dict:
     config = scaled_config(time_scale=SCALE, quantum_cycles=QUANTUM).with_policy(
         policy
     )
+    session = TelemetrySession() if telemetry else None
     start = time.perf_counter()
-    result = run_workloads(config, workloads)
+    result = run_workloads(config, workloads, telemetry=session)
     wall = time.perf_counter() - start
     perf = result.perf
-    return {
+    row = {
         "workloads": workloads,
         "policy": policy,
         "cycles": result.cycles,
@@ -57,6 +74,31 @@ def measure(workloads: list[str], policy: str) -> dict:
         "idle_skipped_cycles": perf.idle_skipped_cycles,
         "stall_skipped_cycles": perf.stall_skipped_cycles,
         "propagator_builds": perf.propagator_builds,
+    }
+    if session is not None:
+        row["telemetry_events"] = session.bus.emitted
+    return row
+
+
+def measure_telemetry_overhead() -> dict:
+    """Best-of-N attack-pair throughput, plain vs instrumented."""
+    plain = max(
+        measure(["gzip", "variant2"], "sedation")["cycles_per_second"]
+        for _ in range(OVERHEAD_REPEATS)
+    )
+    instrumented_rows = [
+        measure(["gzip", "variant2"], "sedation", telemetry=True)
+        for _ in range(OVERHEAD_REPEATS)
+    ]
+    instrumented = max(
+        row["cycles_per_second"] for row in instrumented_rows
+    )
+    return {
+        "plain_cycles_per_second": plain,
+        "instrumented_cycles_per_second": instrumented,
+        "events_per_run": instrumented_rows[0]["telemetry_events"],
+        "overhead_fraction": round(max(0.0, 1.0 - instrumented / plain), 4),
+        "tolerance": OVERHEAD_TOLERANCE,
     }
 
 
@@ -70,6 +112,7 @@ def run() -> dict:
         "quantum_cycles": QUANTUM,
         "baseline": BASELINE,
         "current": current,
+        "telemetry_overhead": measure_telemetry_overhead(),
         "speedup": {
             key: round(
                 current[key]["cycles_per_second"]
@@ -94,6 +137,13 @@ def test_perf_throughput():
         )
         assert row["cycles"] == QUANTUM
         assert row["cycles_per_second"] > 0
+    overhead = payload["telemetry_overhead"]
+    print(
+        f"telemetry overhead: {overhead['overhead_fraction']:.1%} "
+        f"({overhead['events_per_run']} events; "
+        f"tolerance {overhead['tolerance']:.0%})"
+    )
+    assert overhead["overhead_fraction"] <= OVERHEAD_TOLERANCE
 
 
 if __name__ == "__main__":

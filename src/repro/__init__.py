@@ -16,7 +16,9 @@ The package layers (bottom to top): :mod:`repro.isa` (mini ISA),
 paper's selective-sedation contribution), :mod:`repro.dtm` (thermal
 management policies), :mod:`repro.workloads` (SPEC-like profiles plus the
 malicious kernels), and :mod:`repro.sim` (the co-simulator and experiment
-harness).
+harness).  :mod:`repro.telemetry` observes any of it: pass a
+:class:`~repro.telemetry.TelemetrySession` to ``Simulator``/``run_workloads``
+to record typed events and metrics (see ``docs/architecture.md``).
 """
 
 from .analysis import (
@@ -47,6 +49,7 @@ from .errors import (
     WorkloadError,
 )
 from .sim import ExperimentRunner, RunResult, Simulator, ThreadStats, run_workloads
+from .telemetry import Event, EventType, TelemetrySession
 from .workloads import (
     DEFAULT_BENCH_SUBSET,
     HOT_BENCHMARKS,
@@ -65,6 +68,8 @@ __all__ = [
     "DEFAULT_BENCH_SUBSET",
     "degradation",
     "duty_cycle",
+    "Event",
+    "EventType",
     "ExecutionError",
     "ExperimentRunner",
     "format_bar_chart",
@@ -85,6 +90,7 @@ __all__ = [
     "SimulationConfig",
     "Simulator",
     "SPEC_PROFILES",
+    "TelemetrySession",
     "ThermalConfig",
     "ThermalError",
     "ThreadStats",

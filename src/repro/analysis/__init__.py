@@ -1,18 +1,29 @@
-"""Result analysis: comparison metrics and paper-style table rendering."""
+"""Result analysis: comparison metrics and paper-style table rendering.
+
+The ``*_from_events`` helpers operate on telemetry event logs (see
+:mod:`repro.telemetry`) instead of :class:`~repro.sim.stats.RunResult`.
+"""
 
 from .compare import (
     degradation,
     duty_cycle,
+    duty_cycle_from_events,
     geometric_slowdown,
     mean_degradation,
     restoration,
 )
 from .tables import format_bar_chart, format_table
-from .trace import excursions_above, strip_chart, trace_to_csv
+from .trace import (
+    excursions_above,
+    strip_chart,
+    strip_chart_from_events,
+    trace_to_csv,
+)
 
 __all__ = [
     "degradation",
     "duty_cycle",
+    "duty_cycle_from_events",
     "excursions_above",
     "format_bar_chart",
     "format_table",
@@ -20,5 +31,6 @@ __all__ = [
     "mean_degradation",
     "restoration",
     "strip_chart",
+    "strip_chart_from_events",
     "trace_to_csv",
 ]

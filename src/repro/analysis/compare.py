@@ -1,11 +1,19 @@
-"""Comparison metrics used throughout the paper's evaluation."""
+"""Comparison metrics used throughout the paper's evaluation.
+
+Most helpers consume :class:`~repro.sim.stats.RunResult`; the ``*_from_events``
+variants recover the same quantities from a telemetry event log alone, so a
+saved JSONL stream is a sufficient record of a run's DTM behaviour.
+"""
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from statistics import fmean
 
 from ..errors import SimulationError
 from ..sim.stats import RunResult
+from ..telemetry.events import Event
+from ..telemetry.summary import stall_episodes
 
 
 def degradation(baseline_ipc: float, observed_ipc: float) -> float:
@@ -30,6 +38,27 @@ def duty_cycle(result: RunResult, tid: int = 0) -> float:
     ~12.5 ms gives a duty cycle near 1.2/13.7 ≈ 0.09.
     """
     return result.threads[tid].normal_fraction
+
+
+def duty_cycle_from_events(events: Iterable[Event], cycles: int) -> float:
+    """Duty cycle recovered from a telemetry event log alone.
+
+    Under stop-and-go every thread stalls together, so the executing
+    fraction is one minus the stalled fraction — reconstructed here from
+    ``stopgo_engage``/``stopgo_disengage`` pairs.  A stall still open at
+    the end of the log is counted through ``cycles``.  Matches
+    :func:`duty_cycle` on stop-and-go runs without needing the
+    :class:`~repro.sim.stats.RunResult`.
+    """
+    if cycles <= 0:
+        raise SimulationError("cycles must be positive")
+    stalled = 0
+    for episode in stall_episodes(events):
+        end = episode["disengage_cycle"]
+        if end is None:
+            end = cycles
+        stalled += end - episode["engage_cycle"]
+    return max(0.0, 1.0 - stalled / cycles)
 
 
 def restoration(

@@ -4,14 +4,22 @@ A trace is the tuple of ``(cycle, hottest_k, int_rf_k)`` rows a
 :class:`~repro.sim.simulator.Simulator` records when ``run(trace=True)`` is
 used.  The strip chart renders the heat-stroke sawtooth in a terminal; the
 CSV export feeds external plotting.
+
+The same rows exist inside a telemetry event log: every ``sensor_sample``
+event carries the hottest-block temperature as ``value`` and the integer-RF
+temperature in ``data``.  :func:`repro.telemetry.trace_rows` is the adapter
+from events back to ``TraceRow`` tuples, and :func:`strip_chart_from_events`
+composes it with :func:`strip_chart` so a chart can be rendered from a saved
+JSONL log with no result file at all.
 """
 
 from __future__ import annotations
 
 import io
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 from ..errors import SimulationError
+from ..telemetry.events import Event, trace_rows
 
 TraceRow = tuple[int, float, float]
 
@@ -54,6 +62,17 @@ def strip_chart(
             marker = "N"
         lines.append(f"{temp_at:7.1f}K {marker}|" + "".join(row))
     return "\n".join(lines)
+
+
+def strip_chart_from_events(events: Iterable[Event], **kwargs) -> str:
+    """Strip chart straight from a telemetry event stream.
+
+    Keyword arguments are forwarded to :func:`strip_chart`.  Raises
+    :class:`~repro.errors.SimulationError` when the log holds no
+    ``sensor_sample`` events (e.g. it was filtered down to narrative
+    events only).
+    """
+    return strip_chart(trace_rows(events), **kwargs)
 
 
 def trace_to_csv(trace: Sequence[TraceRow]) -> str:

@@ -1,27 +1,43 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands:
+Commands (documented with examples in docs/cli.md):
 
 * ``run`` — simulate one quantum of a workload mix under a DTM policy and
-  print (or save) the result.
+  print (or save) the result; ``--events`` streams a JSONL telemetry log.
 * ``workloads`` — list every registered workload.
 * ``attack`` — the quickstart demo: solo / attacked / defended comparison.
 * ``temps`` — print the calibrated steady-state temperature ladder.
+* ``events`` — filter/summarize a JSONL event log written by ``run``.
+* ``trace`` — render a temperature strip chart from a saved result or an
+  event log.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import __version__
-from .analysis import format_table
-from .blocks import INT_RF
-from .config import scaled_config
+from .analysis import format_table, strip_chart, trace_to_csv
+from .blocks import BLOCK_NAMES, INT_RF, block_id
+from .config import (
+    EMERGENCY_TEMPERATURE_K,
+    NORMAL_OPERATING_K,
+    scaled_config,
+)
 from .errors import ReproError
 from .power import EnergyModel
 from .sim import ExperimentRunner, Simulator
-from .sim.results import save_result
+from .sim.results import load_result, save_result
+from .telemetry import (
+    EventType,
+    TelemetrySession,
+    filter_events,
+    load_events,
+    summarize,
+    trace_rows,
+)
 from .thermal import RCThermalModel
 from .workloads import MALICIOUS_VARIANTS, SPEC_PROFILES, workload_names
 
@@ -46,14 +62,83 @@ def cmd_run(args) -> int:
     config = _config(args).with_policy(args.policy)
     if args.ideal_sink:
         config = config.with_ideal_sink()
-    simulator = Simulator(config, workloads=args.workloads)
+    session = None
+    if args.events or args.telemetry:
+        session = TelemetrySession(jsonl_path=args.events)
+    simulator = Simulator(config, workloads=args.workloads, telemetry=session)
     result = simulator.run(trace=bool(args.output))
     print(result.summary())
     if args.perf and result.perf is not None:
         print(result.perf.summary())
+    if session is not None:
+        session.close()
+        if args.telemetry:
+            print(json.dumps(result.telemetry, indent=1))
+        if args.events:
+            print(
+                f"events: {session.bus.emitted} emitted "
+                f"({session.bus.dropped} dropped from ring) -> {args.events}"
+            )
     if args.output:
         save_result(result, args.output)
         print(f"saved to {args.output}")
+    return 0
+
+
+def _format_event(event) -> str:
+    parts = [f"[cycle {event.cycle:>8}] {event.type.value:<18}"]
+    if event.thread is not None:
+        parts.append(f"t{event.thread}")
+    if event.block is not None:
+        parts.append(BLOCK_NAMES[event.block])
+    if event.value is not None:
+        parts.append(f"value={event.value:.3f}")
+    if event.data:
+        parts.append(json.dumps(event.data, sort_keys=True))
+    return " ".join(parts)
+
+
+def cmd_events(args) -> int:
+    events = load_events(args.log)
+    types = {EventType(name) for name in args.type} if args.type else None
+    selected = filter_events(
+        events,
+        types=types,
+        thread=args.thread,
+        block=block_id(args.block) if args.block else None,
+        since=args.since,
+        until=args.until,
+    )
+    if args.summary:
+        print(summarize(selected))
+        return 0
+    shown = selected if args.limit is None else selected[: args.limit]
+    for event in shown:
+        print(_format_event(event))
+    if len(shown) < len(selected):
+        print(f"... {len(selected) - len(shown)} more (raise --limit)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if args.events:
+        rows = trace_rows(load_events(args.events))
+    elif args.result:
+        rows = load_result(args.result).trace
+    else:
+        raise ReproError("provide a result JSON or --events LOG.jsonl")
+    if args.csv:
+        print(trace_to_csv(rows), end="")
+        return 0
+    print(
+        strip_chart(
+            rows,
+            emergency_k=EMERGENCY_TEMPERATURE_K,
+            normal_k=NORMAL_OPERATING_K,
+            width=args.width,
+            column=args.column,
+        )
+    )
     return 0
 
 
@@ -141,8 +226,44 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output", help="save the result as JSON")
     run.add_argument("--perf", action="store_true",
                      help="print fast-path engine counters (cycles/s, skips)")
+    run.add_argument("--events", metavar="LOG",
+                     help="stream telemetry events to a JSONL file")
+    run.add_argument("--telemetry", action="store_true",
+                     help="collect and print the telemetry metrics snapshot")
     _add_common(run)
     run.set_defaults(func=cmd_run)
+
+    events = sub.add_parser(
+        "events", help="filter/summarize a JSONL event log")
+    events.add_argument("log", help="event log written by `run --events`")
+    events.add_argument("--type", action="append",
+                        choices=[t.value for t in EventType],
+                        help="keep only this event type (repeatable)")
+    events.add_argument("--thread", type=int, help="keep one thread id")
+    events.add_argument("--block", choices=BLOCK_NAMES,
+                        help="keep one floorplan block")
+    events.add_argument("--since", type=int, metavar="CYCLE",
+                        help="keep events at or after this cycle")
+    events.add_argument("--until", type=int, metavar="CYCLE",
+                        help="keep events at or before this cycle")
+    events.add_argument("--limit", type=int,
+                        help="print at most N events")
+    events.add_argument("--summary", action="store_true",
+                        help="print counts, episodes, and the narrative")
+    events.set_defaults(func=cmd_events)
+
+    trace = sub.add_parser(
+        "trace", help="temperature strip chart from a result or event log")
+    trace.add_argument("result", nargs="?",
+                       help="result JSON written by `run --output`")
+    trace.add_argument("--events", metavar="LOG",
+                       help="build the trace from a JSONL event log instead")
+    trace.add_argument("--column", type=int, default=2, choices=(1, 2),
+                       help="1 = hottest block, 2 = integer RF (default)")
+    trace.add_argument("--width", type=int, default=72)
+    trace.add_argument("--csv", action="store_true",
+                       help="emit CSV instead of the strip chart")
+    trace.set_defaults(func=cmd_trace)
 
     workloads = sub.add_parser("workloads", help="list registered workloads")
     workloads.set_defaults(func=cmd_workloads)
@@ -172,6 +293,11 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # `repro events ... | head` closes our stdout mid-print; that is a
+        # normal way to consume a log, not an error worth a traceback.
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

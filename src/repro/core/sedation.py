@@ -25,6 +25,8 @@ from __future__ import annotations
 from ..blocks import NUM_BLOCKS
 from ..config import SedationConfig
 from ..pipeline.smt import SMTCore
+from ..telemetry.events import EventType
+from ..telemetry.session import NULL_TELEMETRY
 from ..thermal.sensors import SensorReading
 from .detector import identify_culprit
 from .reporting import OffenderReport, OSReportLog, ReportKind
@@ -57,6 +59,10 @@ class SelectiveSedationController:
         self._sedated_for: list[set[int]] = [set() for _ in range(NUM_BLOCKS)]
         self.sedations = 0
         self.releases = 0
+        #: telemetry session (inert by default); SedationPolicy propagates
+        #: the simulator's session here via ``attach_telemetry``.
+        self.telemetry = NULL_TELEMETRY
+        self._above_upper = [False] * NUM_BLOCKS
 
     # -- queries -----------------------------------------------------------
 
@@ -86,8 +92,23 @@ class SelectiveSedationController:
         wait = int(
             self.config.cooling_wait_multiplier * self.expected_cooling_cycles
         )
+        telemetry = self.telemetry
         for block in range(NUM_BLOCKS):
             temperature = float(reading.temperatures[block])
+            if telemetry.enabled:
+                above = temperature >= upper
+                if above != self._above_upper[block]:
+                    self._above_upper[block] = above
+                    telemetry.emit(
+                        EventType.THRESHOLD_CROSS,
+                        reading.cycle,
+                        block=block,
+                        value=temperature,
+                        data={
+                            "threshold": "upper",
+                            "direction": "rise" if above else "fall",
+                        },
+                    )
             if self._state[block] == _IDLE:
                 if temperature >= upper:
                     if self._sedate_culprit(block, reading.cycle, temperature):
@@ -127,6 +148,14 @@ class SelectiveSedationController:
         self._sedated_for[block].add(culprit)
         self._apply(culprit)
         self.sedations += 1
+        self.telemetry.emit(
+            EventType.SEDATE,
+            cycle,
+            thread=culprit,
+            block=block,
+            value=temperature,
+            data={"ewma": self.monitor.weighted_average(culprit, block)},
+        )
         if self.config.report_to_os:
             self.reports.record(
                 OffenderReport(
@@ -146,6 +175,14 @@ class SelectiveSedationController:
             if not self.is_sedated(tid):
                 self._clear(tid)
             self.releases += 1
+            self.telemetry.emit(
+                EventType.RELEASE,
+                cycle,
+                thread=tid,
+                block=block,
+                value=temperature,
+                data={"ewma": self.monitor.weighted_average(tid, block)},
+            )
             if self.config.report_to_os:
                 self.reports.record(
                     OffenderReport(
@@ -166,6 +203,17 @@ class SelectiveSedationController:
         cools down to normal operating temperature, restoring all sedated
         threads to normal execution."
         """
+        if self.telemetry.enabled:
+            for block in range(NUM_BLOCKS):
+                for tid in sorted(self._sedated_for[block]):
+                    self.telemetry.emit(
+                        EventType.RELEASE,
+                        cycle,
+                        thread=tid,
+                        block=block,
+                        value=temperature,
+                        data={"safety_net": True},
+                    )
         for tid in self.sedated_threads():
             self._clear(tid)
         for block in range(NUM_BLOCKS):

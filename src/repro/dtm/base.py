@@ -14,6 +14,7 @@ sensor interval, every block instrumented.
 
 from __future__ import annotations
 
+from ..telemetry.session import NULL_TELEMETRY
 from ..thermal.sensors import SensorReading
 
 
@@ -27,6 +28,13 @@ class DTMPolicy:
         self.slowdown = 1
         self.power_scale = 1.0
         self.engagements = 0
+        #: telemetry session; inert by default, so emission sites can call
+        #: it unconditionally at state *transitions* (never per sensor tick)
+        self.telemetry = NULL_TELEMETRY
+
+    def attach_telemetry(self, session) -> None:
+        """Route this policy's state transitions to a telemetry session."""
+        self.telemetry = session
 
     def on_sensor(self, reading: SensorReading) -> None:
         """Observe a sensor reading; update throttle state."""

@@ -14,6 +14,7 @@ the standard discrete approximation.
 
 from __future__ import annotations
 
+from ..telemetry.events import EventType
 from ..thermal.sensors import SensorReading
 from .base import DTMPolicy
 
@@ -50,8 +51,22 @@ class DVFS(DTMPolicy):
                 self.throttled = False
                 self.slowdown = 1
                 self.power_scale = 1.0
+                self._emit_step(reading, hottest)
         elif hottest >= self.emergency_k:
             self.throttled = True
             self.slowdown = self._scaled_slowdown
             self.power_scale = self._scaled_power
             self.engagements += 1
+            self._emit_step(reading, hottest)
+
+    def _emit_step(self, reading: SensorReading, hottest: float) -> None:
+        self.telemetry.emit(
+            EventType.DVFS_STEP,
+            reading.cycle,
+            value=hottest,
+            data={
+                "mechanism": "dvfs",
+                "slowdown": self.slowdown,
+                "power_scale": self.power_scale,
+            },
+        )

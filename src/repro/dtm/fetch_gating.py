@@ -10,6 +10,7 @@ every thread pays, which is why none of these baselines stop heat stroke
 
 from __future__ import annotations
 
+from ..telemetry.events import EventType
 from ..thermal.sensors import SensorReading
 from .base import DTMPolicy
 
@@ -33,7 +34,17 @@ class FetchGating(DTMPolicy):
             if hottest <= self.resume_k:
                 self.gating = False
                 self.slowdown = 1
+                self._emit_step(reading, hottest)
         elif hottest >= self.emergency_k:
             self.gating = True
             self.slowdown = 2
             self.engagements += 1
+            self._emit_step(reading, hottest)
+
+    def _emit_step(self, reading: SensorReading, hottest: float) -> None:
+        self.telemetry.emit(
+            EventType.DVFS_STEP,
+            reading.cycle,
+            value=hottest,
+            data={"mechanism": "fetch_gating", "slowdown": self.slowdown},
+        )

@@ -10,6 +10,7 @@ normal operation, and all sedated threads are restored.
 from __future__ import annotations
 
 from ..core.sedation import SelectiveSedationController
+from ..telemetry.events import EventType
 from ..thermal.sensors import SensorReading
 from .base import DTMPolicy
 
@@ -33,15 +34,31 @@ class SedationPolicy(DTMPolicy):
         self.resume_k = resume_k
         self.safety_net_engagements = 0
 
+    def attach_telemetry(self, session) -> None:
+        super().attach_telemetry(session)
+        self.controller.telemetry = session
+
     def on_sensor(self, reading: SensorReading) -> None:
         if self.global_stall:
             if reading.hottest_k <= self.resume_k:
                 self.global_stall = False
+                self.telemetry.emit(
+                    EventType.STOPGO_DISENGAGE,
+                    reading.cycle,
+                    value=reading.hottest_k,
+                )
             return
         if reading.hottest_k >= self.emergency_k:
             self.global_stall = True
             self.engagements += 1
             self.safety_net_engagements += 1
+            self.telemetry.emit(
+                EventType.STOPGO_ENGAGE,
+                reading.cycle,
+                block=reading.hottest_block,
+                value=reading.hottest_k,
+                data={"safety_net": True},
+            )
             self.controller.on_safety_net(reading.cycle, reading.hottest_k)
             return
         self.controller.on_sensor(reading)

@@ -12,6 +12,7 @@ slow, and the stall is *global*, so one thread's hot spot stalls everyone.
 
 from __future__ import annotations
 
+from ..telemetry.events import EventType
 from ..thermal.sensors import SensorReading
 from .base import DTMPolicy
 
@@ -34,6 +35,15 @@ class StopAndGo(DTMPolicy):
         if self.global_stall:
             if hottest <= self.resume_k:
                 self.global_stall = False
+                self.telemetry.emit(
+                    EventType.STOPGO_DISENGAGE, reading.cycle, value=hottest
+                )
         elif hottest >= self.emergency_k:
             self.global_stall = True
             self.engagements += 1
+            self.telemetry.emit(
+                EventType.STOPGO_ENGAGE,
+                reading.cycle,
+                block=reading.hottest_block,
+                value=hottest,
+            )

@@ -16,6 +16,7 @@ is no stall and no upper bound on temperature.
 
 from __future__ import annotations
 
+from ..telemetry.events import EventType
 from ..thermal.sensors import SensorReading
 from .base import DTMPolicy
 
@@ -50,6 +51,7 @@ class TTDFS(DTMPolicy):
             if self.slowdown != 1:
                 self.slowdown = 1
                 self.power_scale = 1.0
+                self._emit_step(reading, hottest)
             return
         steps = 1 + int(over / self.degrees_per_step)
         new_slowdown = min(self.max_slowdown, 1 + steps)
@@ -59,3 +61,12 @@ class TTDFS(DTMPolicy):
             # constant (TTDFS relaxes timing, it does not lower voltage).
             self.power_scale = 1.0
             self.engagements += 1
+            self._emit_step(reading, hottest)
+
+    def _emit_step(self, reading: SensorReading, hottest: float) -> None:
+        self.telemetry.emit(
+            EventType.DVFS_STEP,
+            reading.cycle,
+            value=hottest,
+            data={"mechanism": "ttdfs", "slowdown": self.slowdown},
+        )

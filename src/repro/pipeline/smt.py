@@ -118,6 +118,9 @@ class SMTCore:
         self.perf_idle_skipped = 0
         #: cycles skipped wholesale via :meth:`skip_cycles` (global stalls)
         self.perf_stall_skipped = 0
+        #: optional telemetry session; None keeps the hot loop branch-free
+        #: beyond a single ``is not None`` test per idle skip
+        self.telemetry = None
 
     # -- external control (DTM hooks) ---------------------------------------
 
@@ -171,6 +174,10 @@ class SMTCore:
                 resume = self._idle_until(self.cycle, target)
                 if resume > self.cycle:
                     self.perf_idle_skipped += resume - self.cycle
+                    if self.telemetry is not None:
+                        self.telemetry.idle_skip(
+                            self.cycle, resume - self.cycle
+                        )
                     self.cycle = resume
                     continue
             step()

@@ -57,10 +57,17 @@ class ExperimentRunner:
     ) -> dict[str, RunResult]:
         """Run a batch of labeled simulations and return *those* results.
 
-        Labels already memoized are served from memory; the rest go through
-        :func:`repro.sim.parallel.run_many` in one dispatch, so a batch of
-        N misses occupies N workers at once (and hits the on-disk cache when
-        the runner has one).  Duplicate labels within a batch run once.
+        Two memo layers stack here.  The runner's in-memory memo
+        (``self.results``) is keyed by *label alone* — reusing a label with
+        a different config returns the first run's result, so labels must
+        encode every varied parameter (:meth:`pair` bakes policy and sink
+        into its labels for exactly this reason).  Labels not in the memo go
+        through :func:`repro.sim.parallel.run_many` in one dispatch — a
+        batch of N misses occupies up to N workers at once (``jobs``), and
+        each miss first consults the on-disk cache (``cache_dir``), which is
+        keyed by a fingerprint of the *full* configuration and is therefore
+        immune to label collisions (see DESIGN.md §9 for the invalidation
+        rules).  Duplicate labels within a batch run once.
         """
         items: list[tuple[str, list[str], SimulationConfig]] = []
         for label, workloads, config in labeled:
@@ -140,9 +147,13 @@ class ExperimentRunner:
     def sweep(
         self, labeled: Iterable[tuple[str, list[str], SimulationConfig]]
     ) -> dict[str, RunResult]:
-        """Run a sequence of (label, workloads, config) simulations.
+        """Run (label, workloads, config) simulations as one batch.
 
-        Returns exactly the requested labels (the runner's whole memo is a
+        Despite the name this is not a serial loop: the whole iterable is
+        dispatched through :meth:`run_batch`, so with ``jobs`` the sweep
+        fans out across worker processes and with ``cache_dir`` previously
+        finished points reload from disk instead of re-simulating.  Returns
+        exactly the requested labels (the runner's whole memo is a
         superset, available as ``self.results``).
         """
         return self.run_batch(labeled)

@@ -56,13 +56,19 @@ class RunSpec:
     """One independent simulation: workloads + config (+ quantum/trace).
 
     Frozen and built from picklable parts so it can cross a process
-    boundary and be fingerprinted deterministically.
+    boundary and be fingerprinted deterministically.  ``telemetry=True``
+    attaches a fresh :class:`~repro.telemetry.TelemetrySession` inside the
+    worker so the cached result carries a metrics snapshot
+    (``RunResult.telemetry``); the raw event stream stays in the worker
+    (stream JSONL from an in-process :class:`~repro.sim.Simulator` when the
+    events themselves are needed).
     """
 
     workloads: tuple[str, ...]
     config: SimulationConfig
     quantum_cycles: int | None = None
     trace: bool = False
+    telemetry: bool = False
 
 
 @dataclass(frozen=True)
@@ -104,6 +110,10 @@ def spec_fingerprint(spec: RunSpec | CampaignSpec) -> str:
     }
     if isinstance(spec, RunSpec):
         payload["trace"] = spec.trace
+        # Only keyed when on: every telemetry-off fingerprint is byte-stable
+        # with the pre-telemetry schema, so existing caches stay warm.
+        if spec.telemetry:
+            payload["telemetry"] = True
     else:
         payload["quanta"] = spec.quanta
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -122,11 +132,17 @@ def _execute(spec: RunSpec | CampaignSpec) -> RunResult | CampaignResult:
             spec.quanta,
             quantum_cycles=spec.quantum_cycles,
         )
+    session = None
+    if spec.telemetry:
+        from ..telemetry import TelemetrySession
+
+        session = TelemetrySession()
     return run_workloads(
         spec.config,
         list(spec.workloads),
         quantum_cycles=spec.quantum_cycles,
         trace=spec.trace,
+        telemetry=session,
     )
 
 

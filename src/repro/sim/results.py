@@ -46,9 +46,10 @@ def result_to_dict(result: RunResult) -> dict:
             for t in result.threads
         ],
         "trace": [list(row) for row in result.trace],
-        # Optional diagnostics: absent from pre-perf archives, which stay
-        # loadable (the key simply round-trips as None).
+        # Optional diagnostics: absent from pre-perf / pre-telemetry
+        # archives, which stay loadable (the keys round-trip as None).
         "perf": result.perf.to_dict() if result.perf is not None else None,
+        "telemetry": result.telemetry,
     }
 
 
@@ -90,6 +91,7 @@ def result_from_dict(payload: dict) -> RunResult:
         stall_engagements=payload["stall_engagements"],
         trace=tuple(tuple(row) for row in payload["trace"]),
         perf=perf,
+        telemetry=payload.get("telemetry"),
     )
 
 

@@ -23,9 +23,11 @@ from ..core.usage import UsageMonitor
 from ..dtm import DTMPolicy, DVFS, FetchGating, SedationPolicy, StopAndGo, TTDFS
 from ..errors import SimulationError
 from ..perf import PerfCounters
+from ..blocks import INT_RF
 from ..pipeline.smt import SMTCore
 from ..pipeline.source import UopSource
 from ..power import EnergyModel, PowerAccountant
+from ..telemetry import TelemetrySession, trace_row
 from ..thermal import Floorplan, RCThermalModel, SensorBank
 from ..workloads.registry import make_source
 from .stats import RunResult, ThreadStats
@@ -41,6 +43,7 @@ class Simulator:
         sources: list[UopSource] | None = None,
         energy: EnergyModel | None = None,
         floorplan: Floorplan | None = None,
+        telemetry: TelemetrySession | None = None,
     ) -> None:
         self.config = config
         machine = config.machine
@@ -86,6 +89,12 @@ class Simulator:
         self.monitor = UsageMonitor(self.core, config.sedation)
         self.reports = OSReportLog()
         self.policy = self._build_policy()
+        #: optional observability session (``None`` = zero-overhead default);
+        #: the policy, sedation controller, and pipeline all share it
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self.policy.attach_telemetry(telemetry)
+            self.core.telemetry = telemetry
         self._last_thermal_cycle = self.core.cycle
 
     def _build_policy(self) -> DTMPolicy:
@@ -135,6 +144,7 @@ class Simulator:
         sample_interval = self.config.sedation.sample_interval
         seconds_per_cycle = thermal_cfg.seconds_per_cycle
 
+        telemetry = self.telemetry
         start = core.cycle
         target = start + quantum
         next_sample = start + sample_interval
@@ -155,11 +165,17 @@ class Simulator:
                 for thread in core.threads:
                     thread.cycles_cooling += chunk
                 reading = self.sensors.sample(core.cycle)
-                policy.on_sensor(reading)
-                if trace:
+                if telemetry is not None:
+                    sample_event = telemetry.observe_reading(
+                        reading, thermal_cfg.emergency_k
+                    )
+                    if trace:
+                        trace_rows.append(trace_row(sample_event))
+                elif trace:
                     trace_rows.append(
                         (core.cycle, reading.hottest_k, float(reading.temperatures[0]))
                     )
+                policy.on_sensor(reading)
                 next_sample = core.cycle + sample_interval
                 next_sensor = core.cycle + sensor_interval
                 continue
@@ -170,16 +186,26 @@ class Simulator:
                 self._run_span(span)
             if core.cycle >= next_sample:
                 self.monitor.sample()
+                if telemetry is not None:
+                    telemetry.maybe_ewma_snapshot(
+                        core.cycle, INT_RF, self.monitor.averages_at(INT_RF)
+                    )
                 next_sample += sample_interval
             if core.cycle >= next_sensor:
                 powers = self.accountant.block_powers(policy.power_scale)
                 self._advance_thermal(powers)
                 reading = self.sensors.sample(core.cycle)
-                policy.on_sensor(reading)
-                if trace:
+                if telemetry is not None:
+                    sample_event = telemetry.observe_reading(
+                        reading, thermal_cfg.emergency_k
+                    )
+                    if trace:
+                        trace_rows.append(trace_row(sample_event))
+                elif trace:
                     trace_rows.append(
                         (core.cycle, reading.hottest_k, float(reading.temperatures[0]))
                     )
+                policy.on_sensor(reading)
                 next_sensor += sensor_interval
 
         wall_seconds = time.perf_counter() - wall_start
@@ -301,6 +327,32 @@ class Simulator:
                 current["per_block"], baseline["per_block"]
             )
         )
+        telemetry = None
+        if self.telemetry is not None:
+            # Gauges reflect the most recent quantum; counters/histograms
+            # accumulate over the session (i.e. across a campaign's quanta).
+            for stats in threads:
+                self.telemetry.metrics.set_gauge(
+                    f"duty_cycle.t{stats.thread}", stats.normal_fraction
+                )
+                self.telemetry.metrics.set_gauge(
+                    f"sedated_fraction.t{stats.thread}", stats.sedated_fraction
+                )
+            self.telemetry.metrics.set_gauge(
+                "peak_temperature_k", self.sensors.peak_k
+            )
+            self.telemetry.metrics.set_gauge(
+                "time_above_emergency_fraction",
+                (
+                    self.telemetry.metrics.counters.get(
+                        "cycles_above_emergency", 0
+                    )
+                    / cycles
+                    if cycles
+                    else 0.0
+                ),
+            )
+            telemetry = self.telemetry.snapshot()
         return RunResult(
             workloads=self.workload_names,
             policy=self.policy.name,
@@ -316,6 +368,7 @@ class Simulator:
             stall_engagements=current["engagements"] - baseline["engagements"],
             trace=tuple(trace_rows),
             perf=perf,
+            telemetry=telemetry,
         )
 
 
@@ -324,7 +377,8 @@ def run_workloads(
     workloads: list[str],
     quantum_cycles: int | None = None,
     trace: bool = False,
+    telemetry: TelemetrySession | None = None,
 ) -> RunResult:
     """One-shot convenience: build a simulator and run one quantum."""
-    simulator = Simulator(config, workloads=workloads)
+    simulator = Simulator(config, workloads=workloads, telemetry=telemetry)
     return simulator.run(quantum_cycles=quantum_cycles, trace=trace)

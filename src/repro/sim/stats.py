@@ -62,6 +62,11 @@ class RunResult:
     #: fast-path instrumentation; excluded from equality — wall time is not
     #: a statistic, and cached results must compare equal to fresh ones.
     perf: PerfCounters | None = field(default=None, compare=False)
+    #: telemetry metrics snapshot (counters/gauges/histograms/event counts)
+    #: when a session was attached; excluded from equality for the same
+    #: reason as ``perf`` — a run with observability on must compare equal
+    #: to the identical run without it.
+    telemetry: dict | None = field(default=None, compare=False)
 
     def thread(self, tid: int) -> ThreadStats:
         return self.threads[tid]

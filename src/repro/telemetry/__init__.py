@@ -1,0 +1,67 @@
+"""repro.telemetry — structured observability for heat-stroke runs.
+
+A low-overhead event bus plus metrics registry threaded through the
+simulator, the DTM policies, the sedation controller, and the pipeline:
+
+* :class:`TelemetrySession` — attach one to a
+  :class:`~repro.sim.simulator.Simulator` (``telemetry=session``) to record
+  typed :class:`Event` records (threshold crossings, sedations/releases,
+  stop-and-go engagements, DVFS steps, EWMA snapshots, idle skips) into a
+  bounded ring buffer, optionally streaming JSONL to disk;
+* :class:`MetricsRegistry` — counters/gauges/histograms (sedation latency
+  and duration, stall duration, time above emergency, per-thread duty
+  cycle) whose snapshot lands on ``RunResult.telemetry``;
+* :mod:`repro.telemetry.summary` — filtering, episode extraction, and the
+  narrative renderer behind ``repro events``.
+
+The default simulator path attaches no session and pays no overhead; the
+legacy ``(cycle, hottest_k, int_rf_k)`` trace is a thin adapter
+(:func:`trace_rows`) over SENSOR_SAMPLE events.
+"""
+
+from .bus import DEFAULT_CAPACITY, EventBus, JsonlSink
+from .events import (
+    NARRATIVE_TYPES,
+    Event,
+    EventType,
+    load_events,
+    read_events,
+    trace_row,
+    trace_rows,
+    write_events,
+)
+from .metrics import Histogram, MetricsRegistry
+from .session import NULL_TELEMETRY, NullTelemetry, TelemetrySession
+from .summary import (
+    counts_by_type,
+    filter_events,
+    narrative,
+    sedation_episodes,
+    stall_episodes,
+    summarize,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "Event",
+    "EventBus",
+    "EventType",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NARRATIVE_TYPES",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "TelemetrySession",
+    "counts_by_type",
+    "filter_events",
+    "load_events",
+    "narrative",
+    "read_events",
+    "sedation_episodes",
+    "stall_episodes",
+    "summarize",
+    "trace_row",
+    "trace_rows",
+    "write_events",
+]

@@ -1,0 +1,99 @@
+"""The event bus: a bounded ring buffer plus optional streaming sinks.
+
+The bus is deliberately dumb — producers construct :class:`Event` records
+and ``emit()`` appends them.  Two consumers hang off it:
+
+* a **ring buffer** (``collections.deque`` with ``maxlen``) holding the most
+  recent ``capacity`` events in memory.  When full, the oldest event is
+  dropped and ``dropped`` increments, so truncation is observable rather
+  than silent;
+* zero or more **sinks** — callables invoked with every event as it is
+  emitted (before any ring truncation), e.g. :class:`JsonlSink` streaming
+  the full log to disk.
+
+Overhead discipline: the simulator stack only touches the bus behind
+``session.enabled`` guards, and no bus exists at all on the default path
+(``telemetry=None``), so runs without telemetry pay nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+from ..errors import SimulationError
+from .events import Event
+
+#: Default ring capacity — comfortably larger than the sensor-sample count
+#: of a default-scale quantum (250 k cycles / 50-cycle interval = 5 k), so
+#: typical runs keep every event in memory.
+DEFAULT_CAPACITY = 65_536
+
+
+class EventBus:
+    """Bounded in-memory event log with fan-out to sinks."""
+
+    def __init__(self, capacity: int | None = DEFAULT_CAPACITY) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError("ring capacity must be >= 1 (or None)")
+        self.capacity = capacity
+        self._ring: deque[Event] = deque(maxlen=capacity)
+        self._sinks: list = []
+        #: events emitted since construction (ring + anything dropped)
+        self.emitted = 0
+        #: events evicted from the ring by newer ones
+        self.dropped = 0
+
+    def add_sink(self, sink) -> None:
+        """Attach a callable invoked with every subsequent event."""
+        self._sinks.append(sink)
+
+    def emit(self, event: Event) -> None:
+        ring = self._ring
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self.dropped += 1
+        ring.append(event)
+        self.emitted += 1
+        for sink in self._sinks:
+            sink(event)
+
+    def events(self) -> list[Event]:
+        """The ring's current contents, oldest first."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def close(self) -> None:
+        """Close every sink that has a ``close()``."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+class JsonlSink:
+    """Streams every event to a JSONL file as it is emitted.
+
+    The file is opened eagerly (so a bad path fails at attach time, not at
+    the first event deep inside a run) and must be ``close()``d to flush —
+    :meth:`EventBus.close` and ``TelemetrySession.close`` do that.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        try:
+            self._handle = self.path.open("w")
+        except OSError as error:
+            raise SimulationError(f"cannot open event log: {error}") from error
+        self.written = 0
+
+    def __call__(self, event: Event) -> None:
+        self._handle.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        self._handle.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()

@@ -1,0 +1,224 @@
+"""The telemetry session: one bus + one metrics registry per observer.
+
+A :class:`TelemetrySession` is what the simulator stack actually talks to.
+It owns the event bus and the metrics registry, applies the emission
+policies that keep overhead bounded (EWMA snapshot striding, edge-triggered
+threshold tracking), and derives episode histograms *incrementally* at emit
+time — sedation durations, sedation latency, stall durations, time above
+the emergency threshold — so the metrics survive ring-buffer truncation of
+the raw events.
+
+The default path has **no session at all**: ``Simulator(config, ...)``
+leaves ``telemetry=None`` and every producer guards its emissions behind
+that, so runs without telemetry execute the exact pre-telemetry code.
+:data:`NULL_TELEMETRY` exists for producers that want an always-valid
+attribute (the DTM policies) — its emitters are no-ops and ``enabled`` is
+``False``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..blocks import INT_RF
+from .bus import DEFAULT_CAPACITY, EventBus, JsonlSink
+from .events import Event, EventType
+from .metrics import MetricsRegistry
+
+
+class TelemetrySession:
+    """Event + metrics collection for one simulator (or one run)."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int | None = DEFAULT_CAPACITY,
+        jsonl_path: str | Path | None = None,
+        ewma_stride: int = 16,
+    ) -> None:
+        if ewma_stride < 1:
+            raise ValueError("ewma_stride must be >= 1")
+        self.bus = EventBus(capacity)
+        self.metrics = MetricsRegistry()
+        self.ewma_stride = ewma_stride
+        self._ewma_tick = 0
+        self._jsonl: JsonlSink | None = None
+        if jsonl_path is not None:
+            self._jsonl = JsonlSink(jsonl_path)
+            self.bus.add_sink(self._jsonl)
+        # Episode state for incremental histograms.
+        self._above_emergency: dict[int, int] = {}  # block -> rise cycle
+        self._above_upper: dict[int, int] = {}      # block -> rise cycle
+        self._sedated_at: dict[tuple[int, int], int] = {}  # (tid, blk) -> cyc
+        self._stall_since: int | None = None
+
+    # -- generic emission ----------------------------------------------------
+
+    def emit(
+        self,
+        type: EventType,
+        cycle: int,
+        thread: int | None = None,
+        block: int | None = None,
+        value: float | None = None,
+        data: dict | None = None,
+    ) -> Event:
+        event = Event(cycle, type, thread, block, value, data)
+        self.bus.emit(event)
+        self.metrics.inc(f"events.{type.value}")
+        self._derive(event)
+        return event
+
+    def _derive(self, event: Event) -> None:
+        """Fold one event into the episode histograms."""
+        kind = event.type
+        if kind is EventType.SEDATE:
+            key = (event.thread, event.block)
+            self._sedated_at.setdefault(key, event.cycle)
+            rise = self._above_upper.get(event.block)
+            if rise is not None:
+                self.metrics.observe(
+                    "sedation_latency_cycles", event.cycle - rise
+                )
+        elif kind is EventType.RELEASE:
+            start = self._sedated_at.pop((event.thread, event.block), None)
+            if start is not None:
+                self.metrics.observe("sedation_cycles", event.cycle - start)
+        elif kind is EventType.STOPGO_ENGAGE:
+            if self._stall_since is None:
+                self._stall_since = event.cycle
+        elif kind is EventType.STOPGO_DISENGAGE:
+            if self._stall_since is not None:
+                self.metrics.observe(
+                    "stall_cycles", event.cycle - self._stall_since
+                )
+                self._stall_since = None
+        elif kind is EventType.THRESHOLD_CROSS:
+            data = event.data or {}
+            threshold = data.get("threshold")
+            rising = data.get("direction") == "rise"
+            if threshold == "emergency":
+                if rising:
+                    self._above_emergency[event.block] = event.cycle
+                else:
+                    rise = self._above_emergency.pop(event.block, None)
+                    if rise is not None:
+                        span = event.cycle - rise
+                        self.metrics.observe("emergency_excursion_cycles", span)
+                        self.metrics.inc("cycles_above_emergency", span)
+            elif threshold == "upper" and rising:
+                self._above_upper[event.block] = event.cycle
+            elif threshold == "upper" and not rising:
+                self._above_upper.pop(event.block, None)
+        elif kind is EventType.IDLE_SKIP:
+            self.metrics.inc("idle_skipped_cycles", int(event.value or 0))
+
+    # -- producer-facing helpers ---------------------------------------------
+
+    def observe_reading(self, reading, emergency_k: float) -> Event:
+        """Emit the SENSOR_SAMPLE for one reading plus emergency crossings.
+
+        Rises come from the sensor bank's own edge detection
+        (``reading.emergency_crossings``); falls are edge-tracked here so
+        time-above-emergency is measurable from the log alone.  Returns the
+        sample event (the simulator adapts it to a legacy trace row).
+        """
+        cycle = reading.cycle
+        temperatures = reading.temperatures
+        for block in reading.emergency_crossings:
+            self.emit(
+                EventType.THRESHOLD_CROSS,
+                cycle,
+                block=block,
+                value=float(temperatures[block]),
+                data={"threshold": "emergency", "direction": "rise"},
+            )
+        for block, rise in list(self._above_emergency.items()):
+            if float(temperatures[block]) < emergency_k:
+                self.emit(
+                    EventType.THRESHOLD_CROSS,
+                    cycle,
+                    block=block,
+                    value=float(temperatures[block]),
+                    data={"threshold": "emergency", "direction": "fall"},
+                )
+        return self.emit(
+            EventType.SENSOR_SAMPLE,
+            cycle,
+            value=reading.hottest_k,
+            data={"int_rf_k": float(temperatures[INT_RF])},
+        )
+
+    def maybe_ewma_snapshot(
+        self, cycle: int, block: int, averages: list[float]
+    ) -> None:
+        """Emit an EWMA_SNAPSHOT every ``ewma_stride``-th call."""
+        self._ewma_tick += 1
+        if self._ewma_tick % self.ewma_stride:
+            return
+        self.emit(
+            EventType.EWMA_SNAPSHOT,
+            cycle,
+            block=block,
+            value=max(averages) if averages else 0.0,
+            data={"ewma": [round(v, 6) for v in averages]},
+        )
+
+    def idle_skip(self, cycle: int, span: int) -> None:
+        self.emit(EventType.IDLE_SKIP, cycle, value=float(span))
+
+    # -- consumption ----------------------------------------------------------
+
+    def events(self) -> list[Event]:
+        """The ring buffer's current contents, oldest first."""
+        return self.bus.events()
+
+    def snapshot(self) -> dict:
+        """JSON-able summary: metrics plus event accounting.
+
+        Metrics are cumulative over the session's lifetime (a campaign
+        running several quanta on one simulator accumulates into the same
+        registry).
+        """
+        payload = self.metrics.to_dict()
+        payload["events"] = {
+            "emitted": self.bus.emitted,
+            "dropped": self.bus.dropped,
+        }
+        return payload
+
+    def close(self) -> None:
+        """Flush and close any attached sinks (e.g. the JSONL stream)."""
+        self.bus.close()
+
+
+class NullTelemetry:
+    """Inert session stand-in: every emitter is a no-op."""
+
+    enabled = False
+
+    def emit(self, *args, **kwargs) -> None:
+        return None
+
+    def observe_reading(self, *args, **kwargs) -> None:
+        return None
+
+    def maybe_ewma_snapshot(self, *args, **kwargs) -> None:
+        return None
+
+    def idle_skip(self, *args, **kwargs) -> None:
+        return None
+
+    def events(self) -> list:
+        return []
+
+    def snapshot(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+#: Shared inert session; safe as a default attribute everywhere.
+NULL_TELEMETRY = NullTelemetry()

@@ -1,0 +1,171 @@
+"""Event-log analysis: filtering, episode extraction, and narratives.
+
+These helpers power ``repro events`` and the telemetry tests.  They consume
+plain event iterables, so they work identically on a live session's ring
+buffer and on a JSONL log reloaded from disk — the §5 narratives (threshold
+cross → sedate the top-EWMA thread → release) are reconstructible from a
+saved log alone.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..blocks import block_name
+from .events import NARRATIVE_TYPES, Event, EventType
+
+
+def filter_events(
+    events: Iterable[Event],
+    types: set[EventType] | None = None,
+    thread: int | None = None,
+    block: int | None = None,
+    since: int | None = None,
+    until: int | None = None,
+) -> list[Event]:
+    """Select events by type / thread / block / cycle window."""
+    out = []
+    for event in events:
+        if types is not None and event.type not in types:
+            continue
+        if thread is not None and event.thread != thread:
+            continue
+        if block is not None and event.block != block:
+            continue
+        if since is not None and event.cycle < since:
+            continue
+        if until is not None and event.cycle > until:
+            continue
+        out.append(event)
+    return out
+
+
+def counts_by_type(events: Iterable[Event]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.type.value] = counts.get(event.type.value, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def sedation_episodes(events: Iterable[Event]) -> list[dict]:
+    """SEDATE→RELEASE episodes, in sedation order.
+
+    An episode still open at the end of the log has ``release_cycle=None``.
+    """
+    episodes: list[dict] = []
+    open_by_key: dict[tuple, dict] = {}
+    for event in events:
+        if event.type is EventType.SEDATE:
+            episode = {
+                "thread": event.thread,
+                "block": event.block,
+                "sedate_cycle": event.cycle,
+                "sedate_temperature_k": event.value,
+                "release_cycle": None,
+                "release_temperature_k": None,
+            }
+            episodes.append(episode)
+            open_by_key.setdefault((event.thread, event.block), episode)
+        elif event.type is EventType.RELEASE:
+            episode = open_by_key.pop((event.thread, event.block), None)
+            if episode is not None:
+                episode["release_cycle"] = event.cycle
+                episode["release_temperature_k"] = event.value
+    return episodes
+
+
+def stall_episodes(events: Iterable[Event]) -> list[dict]:
+    """STOPGO_ENGAGE→DISENGAGE episodes (global stalls), in order."""
+    episodes: list[dict] = []
+    current: dict | None = None
+    for event in events:
+        if event.type is EventType.STOPGO_ENGAGE and current is None:
+            current = {
+                "engage_cycle": event.cycle,
+                "disengage_cycle": None,
+                "engage_temperature_k": event.value,
+                "safety_net": bool((event.data or {}).get("safety_net")),
+            }
+            episodes.append(current)
+        elif event.type is EventType.STOPGO_DISENGAGE and current is not None:
+            current["disengage_cycle"] = event.cycle
+            current = None
+    return episodes
+
+
+def narrative(events: Iterable[Event]) -> list[str]:
+    """One human-readable line per narrative event, in log order."""
+    lines = []
+    for event in events:
+        if event.type not in NARRATIVE_TYPES:
+            continue
+        where = block_name(event.block) if event.block is not None else "chip"
+        temp = f" T={event.value:.2f}K" if event.value is not None else ""
+        data = event.data or {}
+        if event.type is EventType.THRESHOLD_CROSS:
+            detail = f"{data.get('threshold', '?')} {data.get('direction', '?')}"
+        elif event.type in (EventType.SEDATE, EventType.RELEASE):
+            detail = f"thread {event.thread}"
+            ewma = data.get("ewma")
+            if ewma is not None:
+                detail += f" (ewma {ewma:.2f})"
+        elif event.type is EventType.DVFS_STEP:
+            detail = (
+                f"slowdown {data.get('slowdown')} via "
+                f"{data.get('mechanism', 'dvfs')}"
+            )
+        elif event.type is EventType.STOPGO_ENGAGE and data.get("safety_net"):
+            detail = "safety net"
+        else:
+            detail = ""
+        lines.append(
+            f"[cycle {event.cycle:>8}] {event.type.value:<18} {where:<8} "
+            f"{detail}{temp}".rstrip()
+        )
+    return lines
+
+
+def summarize(events: Iterable[Event]) -> str:
+    """Counts, episodes, and the narrative — the ``--summary`` report."""
+    events = list(events)
+    lines = ["event counts:"]
+    for name, count in counts_by_type(events).items():
+        lines.append(f"  {name:<18} {count}")
+    sedations = sedation_episodes(events)
+    if sedations:
+        lines.append("sedation episodes:")
+        for episode in sedations:
+            end = episode["release_cycle"]
+            span = (
+                f"{episode['sedate_cycle']}..{end} "
+                f"({end - episode['sedate_cycle']} cycles)"
+                if end is not None
+                else f"{episode['sedate_cycle']}.. (open)"
+            )
+            release_t = episode["release_temperature_k"]
+            released = (
+                f", released at {release_t:.2f}K" if release_t is not None else ""
+            )
+            lines.append(
+                f"  thread {episode['thread']} at "
+                f"{block_name(episode['block'])}: {span}, sedated at "
+                f"{episode['sedate_temperature_k']:.2f}K{released}"
+            )
+    stalls = stall_episodes(events)
+    if stalls:
+        lines.append("global stalls:")
+        for episode in stalls:
+            end = episode["disengage_cycle"]
+            span = (
+                f"{episode['engage_cycle']}..{end} "
+                f"({end - episode['engage_cycle']} cycles)"
+                if end is not None
+                else f"{episode['engage_cycle']}.. (open)"
+            )
+            net = " [safety net]" if episode["safety_net"] else ""
+            lines.append(f"  {span}{net}")
+    story = narrative(events)
+    if story:
+        lines.append("narrative:")
+        lines.extend("  " + line for line in story)
+    return "\n".join(lines)
