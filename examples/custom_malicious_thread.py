@@ -64,7 +64,7 @@ def main() -> None:
           f"attacked {attacked.threads[0].ipc:.2f}, "
           f"defended {defended.threads[0].ipc:.2f}")
     print(f"emergencies: attacked {attacked.emergencies} "
-          f"(per block: { {k: v for k, v in zip(('int_rf','fp_rf'), attacked.emergencies_per_block[:2])} }), "
+          f"(per block: { {k: v for k, v in zip(('int_rf','fp_rf'), attacked.emergencies_per_block[:2], strict=True)} }), "
           f"defended {defended.emergencies}")
     print(f"sedation reports: {[e.describe() for e in sim.reports.events[:3]]}")
     print(f"fp_flood sedated {defended.threads[1].sedated_fraction:.0%} of the quantum")

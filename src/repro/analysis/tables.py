@@ -59,7 +59,7 @@ def format_bar_chart(
     if title:
         lines.append(title)
         lines.append("=" * len(title))
-    for label, value in zip(labels, values):
+    for label, value in zip(labels, values, strict=True):
         bar = "#" * int(round(value * scale))
         lines.append(f"{label.rjust(label_width)} | {bar} {value:.2f}{unit}")
     return "\n".join(lines)

@@ -50,7 +50,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=42)
 
 
-def _config(args) -> "SimulationConfig":
+def _config(args) -> SimulationConfig:
     return scaled_config(
         time_scale=args.time_scale,
         quantum_cycles=args.quantum,

@@ -253,24 +253,24 @@ class SimulationConfig:
         ):
             raise ConfigError(f"unknown DTM policy {self.dtm_policy!r}")
 
-    def with_policy(self, policy: str) -> "SimulationConfig":
+    def with_policy(self, policy: str) -> SimulationConfig:
         """Return a copy of this config running under a different DTM policy."""
         return replace(self, dtm_policy=policy)
 
-    def with_ideal_sink(self) -> "SimulationConfig":
+    def with_ideal_sink(self) -> SimulationConfig:
         """Return a copy with the infinite-heat-removal package."""
         return replace(
             self, thermal=replace(self.thermal, ideal_sink=True), dtm_policy="ideal"
         )
 
-    def with_convection_resistance(self, r_k_per_w: float) -> "SimulationConfig":
+    def with_convection_resistance(self, r_k_per_w: float) -> SimulationConfig:
         """Return a copy with a different heat-sink convection resistance."""
         return replace(
             self,
             thermal=replace(self.thermal, convection_resistance_k_per_w=r_k_per_w),
         )
 
-    def with_thresholds(self, upper_k: float, lower_k: float) -> "SimulationConfig":
+    def with_thresholds(self, upper_k: float, lower_k: float) -> SimulationConfig:
         """Return a copy with different sedation temperature thresholds."""
         return replace(
             self,

@@ -1,11 +1,13 @@
 """Selective sedation: the paper's defense (§3.2).
 
-Per potential-hot-spot resource, two temperature triggers:
+Per potential-hot-spot resource, two temperature triggers (the paper's
+356 K / 355 K; this reproduction's calibrated values are the canonical
+``UPPER_THRESHOLD_K`` / ``LOWER_THRESHOLD_K`` in :mod:`repro.config`):
 
-* **upper threshold** (356 K; just below the 358 K emergency) — identify the
-  thread with the highest weighted-average access rate at that resource and
-  sedate it (stop fetching from it);
-* **lower threshold** (355 K; just above normal operation) — release every
+* **upper threshold** (just below the ``EMERGENCY_TEMPERATURE_K``
+  emergency) — identify the thread with the highest weighted-average access
+  rate at that resource and sedate it (stop fetching from it);
+* **lower threshold** (just above normal operation) — release every
   thread sedated for that resource.
 
 Because one sedation does not guarantee cool-down when *multiple* threads

@@ -1,0 +1,40 @@
+"""Repo-specific static analysis (``python -m repro.lint``).
+
+A small AST-based lint framework plus the rules that guard this
+reproduction's correctness-critical invariants:
+
+========  =======================  ==================================
+code      name                     guards
+========  =======================  ==================================
+RPR001    determinism-hazard       run-cache purity (no ambient state)
+RPR002    fingerprint-completeness every spec field keys the cache
+RPR003    paper-constant-hygiene   one canonical site per paper constant
+RPR004    telemetry-coverage       no dead or undefined event types
+RPR005    threshold-ordering       lower < upper < emergency ladder
+========  =======================  ==================================
+
+See ``docs/linting.md`` for the full catalog, rationale, and the
+``# repro: noqa(CODE) reason`` suppression syntax.
+"""
+
+from __future__ import annotations
+
+from .engine import LintConfig, LintResult, run_lint
+from .findings import Finding, SuppressionMap
+from .registry import RULES, Module, Rule, register
+from . import rules  # noqa: F401  (imports register every rule)
+from .report import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Module",
+    "RULES",
+    "Rule",
+    "SuppressionMap",
+    "register",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

@@ -1,0 +1,11 @@
+"""``python -m repro.lint`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from . import rules  # noqa: F401  (register every rule)
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Command-line front end: ``python -m repro.lint [paths...]``.
+
+Exit status is 0 when clean, 1 when any finding survives suppression, and
+2 on usage errors — so the CI lint job is just the bare invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from ..errors import ConfigError
+from .engine import LintConfig, run_lint
+from .report import render, render_rules
+from .registry import RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "Repo-specific static analysis: determinism, cache-fingerprint "
+            "completeness, paper-constant hygiene, telemetry coverage, "
+            "threshold ordering."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES", default="",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _codes(raw: str | None) -> tuple[str, ...] | None:
+    if raw is None:
+        return None
+    return tuple(code.strip() for code in raw.split(",") if code.strip())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    try:
+        config = LintConfig(
+            select=_codes(args.select), ignore=_codes(args.ignore) or ()
+        )
+        result = run_lint(args.paths, config)
+        print(render(result, args.format))
+    except ConfigError as error:
+        print(f"repro.lint: {error}", file=sys.stderr)
+        return 2
+    return result.exit_code
+
+
+# Imported for the side effect of registering every rule before main runs.
+assert RULES, "rule registry must not be empty"

@@ -1,0 +1,90 @@
+"""Findings and inline suppression for the repro linter.
+
+A :class:`Finding` is one diagnostic: a rule code, a location, and a
+message.  Suppression follows the repo's own syntax, deliberately distinct
+from ruff/flake8 ``# noqa`` so the two tools never swallow each other's
+diagnostics::
+
+    x = 358.0  # repro: noqa(RPR003) fixture target, not a config value
+    y = sneaky()  # repro: noqa -- blanket, suppresses every rule on the line
+
+Each suppression must come with a reason in practice (the text after the
+closing parenthesis); the linter does not enforce prose, but
+``docs/linting.md`` documents the convention and review does.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+
+#: Matches ``# repro: noqa`` and ``# repro: noqa(CODE, CODE...)``.
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\(([A-Z0-9,\s]+)\))?", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic produced by a rule."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class SuppressionMap:
+    """Per-line ``# repro: noqa`` directives for one source file.
+
+    ``codes_by_line[line]`` is the set of suppressed codes on that line; an
+    empty set means a blanket ``noqa`` (everything suppressed).
+    """
+
+    codes_by_line: dict[int, set[str]] = field(default_factory=dict)
+
+    def suppresses(self, line: int, code: str) -> bool:
+        codes = self.codes_by_line.get(line)
+        if codes is None:
+            return False
+        return not codes or code.upper() in codes
+
+    @classmethod
+    def from_source(cls, source: str) -> SuppressionMap:
+        """Extract suppressions from comment tokens (never from strings)."""
+        codes_by_line: dict[int, set[str]] = {}
+        try:
+            tokens = tokenize.generate_tokens(StringIO(source).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _NOQA.search(token.string)
+                if not match:
+                    continue
+                raw = match.group(1)
+                codes_by_line[token.start[0]] = (
+                    {part.strip().upper() for part in raw.split(",") if part.strip()}
+                    if raw
+                    else set()
+                )
+        except tokenize.TokenError:
+            # Untokenizable files produce a parse finding elsewhere; treat
+            # them as having no suppressions rather than crashing the lint.
+            pass
+        return cls(codes_by_line)

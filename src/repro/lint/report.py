@@ -1,0 +1,47 @@
+"""Reporters: render a :class:`~repro.lint.engine.LintResult` for humans/CI."""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ConfigError
+from .engine import LintResult
+from .registry import RULES
+
+
+def render_text(result: LintResult) -> str:
+    """One ``path:line:col: CODE message`` line per finding plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    lines.append(
+        f"checked {result.files_checked} file(s): "
+        f"{len(result.findings)} {noun}"
+        + (f" ({result.suppressed} suppressed)" if result.suppressed else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order) for tooling and CI."""
+    payload = {
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rules() -> str:
+    """The rule catalog (``--list-rules``)."""
+    lines = []
+    for code, rule_cls in sorted(RULES.items()):
+        lines.append(f"{code} {rule_cls.name}: {rule_cls.summary}")
+    return "\n".join(lines)
+
+
+def render(result: LintResult, fmt: str) -> str:
+    if fmt == "text":
+        return render_text(result)
+    if fmt == "json":
+        return render_json(result)
+    raise ConfigError(f"unknown report format {fmt!r}")

@@ -1,0 +1,7 @@
+"""Repo-specific rules.  Importing this package registers every rule."""
+
+from __future__ import annotations
+
+from . import constants, determinism, fingerprint, telemetry, thresholds
+
+__all__ = ["constants", "determinism", "fingerprint", "telemetry", "thresholds"]

@@ -1,0 +1,152 @@
+"""RPR001 — determinism hazards in cache-fingerprinted simulation code.
+
+The run cache (``repro.sim.parallel``) assumes every simulation is a pure
+function of its configuration: the same :class:`RunSpec` must produce the
+same bytes forever, across processes and interpreter runs.  Anything that
+injects ambient state — the global RNG, wall-clock time, environment
+variables, or set iteration order — silently breaks that contract, and a
+broken contract means cached figures that no re-run can reproduce.
+
+This rule guards the packages that execute inside a fingerprinted run
+(``sim``, ``pipeline``, ``thermal``, ``dtm``, ``core``).  Code outside
+those packages (workload registries, CLI, analysis) may read the
+environment freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..findings import Finding
+from ..registry import Module, Rule, register
+
+#: Packages whose modules run inside a fingerprinted simulation.
+GUARDED_PACKAGES = ("sim", "pipeline", "thermal", "dtm", "core")
+
+#: ``random.<fn>`` calls that touch the process-global RNG.  Constructing a
+#: seeded ``random.Random(...)`` instance is the sanctioned pattern.
+_GLOBAL_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "randbytes", "choice", "choices",
+    "shuffle", "sample", "uniform", "triangular", "betavariate",
+    "expovariate", "gammavariate", "gauss", "lognormvariate",
+    "normalvariate", "paretovariate", "vonmisesvariate", "weibullvariate",
+    "getrandbits", "seed",
+})
+
+#: Wall-clock reads on the ``time`` module.
+_TIME_FNS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns",
+})
+
+#: Wall-clock reads on ``datetime``/``date`` objects.
+_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+
+def attr_chain(node: ast.expr) -> tuple[str, ...]:
+    """``a.b.c`` -> ("a", "b", "c"); empty tuple when not a plain chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return ()
+    parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """A literal set, a set comprehension, or a bare ``set(...)`` call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "set"
+    )
+
+
+@register
+class DeterminismRule(Rule):
+    code = "RPR001"
+    name = "determinism-hazard"
+    summary = (
+        "ambient state (global RNG, wall clock, os.environ, set iteration "
+        "order) inside cache-fingerprinted simulation packages"
+    )
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        if not module.in_package(*GUARDED_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, ast.Attribute):
+                chain = attr_chain(node)
+                if chain[:2] == ("os", "environ"):
+                    yield self.finding(
+                        module, node,
+                        "os.environ read inside a fingerprinted simulation "
+                        "path; environment state is not part of the cache "
+                        "key — thread it through the config instead",
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter):
+                    yield self.finding(
+                        module, node.iter,
+                        "iteration over a set has arbitrary order; iterate "
+                        "sorted(...) so results are reproducible",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for comp in node.generators:
+                    if _is_set_expr(comp.iter):
+                        yield self.finding(
+                            module, comp.iter,
+                            "comprehension over a set has arbitrary order; "
+                            "iterate sorted(...) so results are reproducible",
+                        )
+
+    def _check_call(self, module: Module, node: ast.Call) -> Iterator[Finding]:
+        chain = attr_chain(node.func)
+        if not chain:
+            return
+        if chain[0] == "random" and len(chain) == 2:
+            if chain[1] in _GLOBAL_RANDOM_FNS:
+                yield self.finding(
+                    module, node,
+                    f"random.{chain[1]}() uses the unseeded process-global "
+                    "RNG; construct a random.Random(seed) from the config",
+                )
+        elif chain[0] in ("numpy", "np") and len(chain) >= 2 and chain[1] == "random":
+            seeded_rng = (
+                chain[-1] == "default_rng" and (node.args or node.keywords)
+            )
+            if not seeded_rng:
+                yield self.finding(
+                    module, node,
+                    f"{'.'.join(chain)}() draws from numpy's global (or "
+                    "unseeded) RNG; pass an explicit seed from the config",
+                )
+        elif chain[0] == "time" and len(chain) == 2 and chain[1] in _TIME_FNS:
+            yield self.finding(
+                module, node,
+                f"time.{chain[1]}() reads the wall clock; simulation state "
+                "must depend only on simulated cycles",
+            )
+        elif chain[-1] in _DATETIME_FNS and len(chain) >= 2 and (
+            chain[-2] in ("datetime", "date")
+        ):
+            yield self.finding(
+                module, node,
+                f"{'.'.join(chain)}() reads the wall clock; simulation "
+                "state must depend only on simulated cycles",
+            )
+        elif chain[:2] == ("os", "getenv"):
+            yield self.finding(
+                module, node,
+                "os.getenv() inside a fingerprinted simulation path; "
+                "environment state is not part of the cache key — thread "
+                "it through the config instead",
+            )

@@ -1,0 +1,103 @@
+"""RPR004 — telemetry coverage.
+
+The event stream is the observable record of a run (DESIGN.md §10): the
+CLI, the summary narrative, and the legacy-trace adapter all key off
+:class:`EventType` members.  Two drift modes are cheap to catch statically:
+
+* an ``EventType`` member that no code ever emits — a dead event type,
+  usually the residue of a refactor, which silently blinds any consumer
+  waiting for it;
+* an ``emit(EventType.TYPO, ...)`` against a member that does not exist —
+  a latent ``AttributeError`` on a code path that may only fire under an
+  attack workload.
+
+The missing-emit half of the rule only activates when the scanned file set
+includes both the ``EventType`` definition and at least one emit call, so
+linting a single module never produces phantom "nothing emits X" findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..findings import Finding
+from ..registry import Module, Rule, register
+
+
+def _event_attr(node: ast.expr) -> str | None:
+    """``EventType.X`` -> ``"X"``; anything else -> None."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if node.value.id == "EventType":
+            return node.attr
+    return None
+
+
+@register
+class TelemetryCoverageRule(Rule):
+    code = "RPR004"
+    name = "telemetry-coverage"
+    summary = (
+        "every EventType member has an emit site, and no emit references "
+        "an undefined member"
+    )
+
+    def __init__(self) -> None:
+        # member name -> (module, line) of its definition
+        self._defined: dict[str, tuple[Module, int]] = {}
+        self._definition_module: Module | None = None
+        # member names seen as the first argument of an .emit(...) call
+        self._emitted: set[str] = set()
+        # every EventType.<attr> use: (module, node, attr)
+        self._uses: list[tuple[Module, ast.Attribute, str]] = []
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == "EventType":
+                self._definition_module = module
+                for statement in node.body:
+                    if isinstance(statement, ast.Assign):
+                        for target in statement.targets:
+                            if isinstance(target, ast.Name):
+                                self._defined[target.id] = (
+                                    module, statement.lineno
+                                )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "emit"
+                    and node.args
+                ):
+                    member = _event_attr(node.args[0])
+                    if member is not None:
+                        self._emitted.add(member)
+            elif isinstance(node, ast.Attribute):
+                member = _event_attr(node)
+                if member is not None:
+                    self._uses.append((module, node, member))
+        return
+        yield  # pragma: no cover — make this a generator function
+
+    def finalize(self) -> Iterator[Finding]:
+        if self._definition_module is None:
+            return
+        for module, node, member in self._uses:
+            if member not in self._defined and not member.startswith("__"):
+                yield self.finding(
+                    module, node,
+                    f"EventType.{member} is not defined in "
+                    f"{self._definition_module.path}; this emit/reference "
+                    "would raise AttributeError at runtime",
+                )
+        if not self._emitted:
+            return  # single-module lint: no emit sites in scope
+        for member, (module, line) in sorted(self._defined.items()):
+            if member not in self._emitted:
+                yield self.finding(
+                    module, None,
+                    f"EventType.{member} has no emit site in the scanned "
+                    "files; dead event types blind every consumer that "
+                    "filters on them",
+                    line=line,
+                )

@@ -1,0 +1,106 @@
+"""RPR005 — sedation/emergency threshold ordering.
+
+The defense's whole control loop assumes a strict temperature ladder::
+
+    lower release threshold < upper sedation threshold < emergency
+
+Runtime validation exists (``SedationConfig.__post_init__`` checks lower <
+upper, ``ThermalConfig`` checks the emergency ladder), but it cannot see
+*across* the two dataclasses: nothing at runtime stops a default upper
+threshold from being edited above the emergency temperature, which would
+hand every detection to the stop-and-go safety net and quietly void the
+selective-sedation results.  This rule statically evaluates the dataclass
+defaults (resolving module-level named constants) and fails the lint if
+the ladder is broken.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..findings import Finding
+from ..registry import Module, Rule, register
+
+
+def _literal_number(node: ast.expr, env: dict[str, float]) -> float | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_number(node.operand, env)
+        return -inner if inner is not None else None
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    return None
+
+
+def _module_constants(tree: ast.Module) -> dict[str, float]:
+    env: dict[str, float] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                value = _literal_number(node.value, env)
+                if value is not None:
+                    env[target.id] = value
+    return env
+
+
+def _class_defaults(
+    node: ast.ClassDef, env: dict[str, float]
+) -> dict[str, tuple[float, int]]:
+    """field -> (default value, line) for statically evaluable defaults."""
+    defaults: dict[str, tuple[float, int]] = {}
+    for statement in node.body:
+        if (
+            isinstance(statement, ast.AnnAssign)
+            and isinstance(statement.target, ast.Name)
+            and statement.value is not None
+        ):
+            value = _literal_number(statement.value, env)
+            if value is not None:
+                defaults[statement.target.id] = (value, statement.lineno)
+    return defaults
+
+
+@register
+class ThresholdOrderingRule(Rule):
+    code = "RPR005"
+    name = "threshold-ordering"
+    summary = (
+        "default configs must satisfy lower threshold < upper threshold "
+        "< emergency temperature"
+    )
+
+    def check_module(self, module: Module) -> Iterator[Finding]:
+        env = _module_constants(module.tree)
+        sedation: dict[str, tuple[float, int]] = {}
+        thermal: dict[str, tuple[float, int]] = {}
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                if node.name == "SedationConfig":
+                    sedation = _class_defaults(node, env)
+                elif node.name == "ThermalConfig":
+                    thermal = _class_defaults(node, env)
+        lower = sedation.get("lower_threshold_k")
+        upper = sedation.get("upper_threshold_k")
+        emergency = thermal.get("emergency_k")
+        if lower and upper and not lower[0] < upper[0]:
+            yield self.finding(
+                module, None,
+                f"default lower threshold {lower[0]} K is not below the "
+                f"upper threshold {upper[0]} K; release would re-trigger "
+                "sedation immediately",
+                line=lower[1],
+            )
+        if upper and emergency and not upper[0] < emergency[0]:
+            yield self.finding(
+                module, None,
+                f"default upper threshold {upper[0]} K is not below the "
+                f"emergency temperature {emergency[0]} K; selective "
+                "sedation could never fire before the stop-and-go safety "
+                "net",
+                line=upper[1],
+            )

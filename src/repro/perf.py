@@ -69,5 +69,5 @@ class PerfCounters:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "PerfCounters":
+    def from_dict(cls, payload: dict) -> PerfCounters:
         return cls(**payload)

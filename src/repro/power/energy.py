@@ -106,7 +106,7 @@ class EnergyModel:
         energy_nj: dict[str, float] | None = None,
         leakage_w: dict[str, float] | None = None,
         other_power_w: float = DEFAULT_OTHER_POWER_W,
-    ) -> "EnergyModel":
+    ) -> EnergyModel:
         """Build the default table, optionally overriding individual blocks."""
         energies = dict(DEFAULT_ENERGY_NJ)
         leakages = dict(DEFAULT_LEAKAGE_W)

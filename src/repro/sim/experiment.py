@@ -91,7 +91,7 @@ class ExperimentRunner:
                 cache_dir=self.cache_dir,
                 cache=self.cache_dir is not None,
             )
-            for (label, _, _), result in zip(missing, fresh):
+            for (label, _, _), result in zip(missing, fresh, strict=True):
                 self.results[label] = result
         return {label: self.results[label] for label, _, _ in items}
 

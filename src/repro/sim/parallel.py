@@ -84,7 +84,10 @@ class CampaignSpec:
 
 def default_jobs() -> int:
     """Worker count: ``REPRO_BENCH_JOBS`` if set, else a modest CPU share."""
-    raw = os.environ.get(JOBS_ENV)
+    # The worker count decides WHERE specs run, never WHAT they compute;
+    # results are byte-identical at any job count, so this environment read
+    # cannot leak into the cache key.
+    raw = os.environ.get(JOBS_ENV)  # repro: noqa(RPR001) scheduling knob, not sim state
     if raw:
         return max(1, int(raw))
     return min(4, os.cpu_count() or 1)
@@ -281,7 +284,7 @@ def run_many(
                 max_workers=min(workers, len(todo))
             ) as pool:
                 fresh = list(pool.map(_execute, todo))
-        for key, spec, result in zip(order, todo, fresh):
+        for key, spec, result in zip(order, todo, fresh, strict=True):
             _cache_store(directory, key, spec, result)
             for index in pending[key]:
                 results[index] = result

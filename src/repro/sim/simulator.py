@@ -153,7 +153,9 @@ class Simulator:
         # Snapshot cumulative counters so the result reports THIS run only
         # (simulators may be run for several consecutive quanta).
         baseline = self._snapshot()
-        wall_start = time.perf_counter()
+        # Wall-clock time feeds PerfCounters only (compare=False diagnostics);
+        # it never influences simulated state or the cached statistics.
+        wall_start = time.perf_counter()  # repro: noqa(RPR001) perf diagnostics only
 
         while core.cycle < target:
             if policy.global_stall:
@@ -208,7 +210,7 @@ class Simulator:
                 policy.on_sensor(reading)
                 next_sensor += sensor_interval
 
-        wall_seconds = time.perf_counter() - wall_start
+        wall_seconds = time.perf_counter() - wall_start  # repro: noqa(RPR001) perf diagnostics only
         return self._collect(start, baseline, trace_rows, wall_seconds)
 
     def _snapshot(self) -> dict:
@@ -291,7 +293,7 @@ class Simulator:
         current = self._snapshot()
         idle_skipped, stall_skipped, advances, builds = (
             now - before
-            for now, before in zip(current["perf"], baseline["perf"])
+            for now, before in zip(current["perf"], baseline["perf"], strict=True)
         )
         perf = PerfCounters(
             cycles=cycles,
@@ -315,7 +317,8 @@ class Simulator:
                 access_counts=tuple(
                     now - before
                     for now, before in zip(
-                        core.access_counts[t.tid], baseline["counts"][t.tid]
+                        core.access_counts[t.tid], baseline["counts"][t.tid],
+                        strict=True,
                     )
                 ),
             )
@@ -324,7 +327,7 @@ class Simulator:
         per_block = tuple(
             now - before
             for now, before in zip(
-                current["per_block"], baseline["per_block"]
+                current["per_block"], baseline["per_block"], strict=True
             )
         )
         telemetry = None

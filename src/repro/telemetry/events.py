@@ -88,7 +88,7 @@ class Event:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "Event":
+    def from_dict(cls, payload: dict) -> Event:
         return cls(
             cycle=payload["cycle"],
             type=EventType(payload["type"]),

@@ -43,7 +43,7 @@ class Package:
         return self.sink_time_constant_s / self.convection_resistance_k_per_w
 
     @classmethod
-    def from_config(cls, config: ThermalConfig) -> "Package":
+    def from_config(cls, config: ThermalConfig) -> Package:
         return cls(
             convection_resistance_k_per_w=config.convection_resistance_k_per_w,
             ambient_k=config.ambient_k,

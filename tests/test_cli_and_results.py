@@ -32,7 +32,7 @@ class TestSerialization:
         assert loaded.policy == sample_result.policy
         assert loaded.cycles == sample_result.cycles
         assert loaded.emergencies == sample_result.emergencies
-        for original, restored in zip(sample_result.threads, loaded.threads):
+        for original, restored in zip(sample_result.threads, loaded.threads, strict=True):
             assert restored.committed == original.committed
             assert restored.ipc == pytest.approx(original.ipc)
             assert restored.access_counts == original.access_counts

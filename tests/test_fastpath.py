@@ -205,7 +205,7 @@ class TestParallelCachedRunner:
         assert len(list(tmp_path.glob("*.json"))) == 2
         cached = run_many(specs, jobs=1, cache_dir=tmp_path)
         parallel = run_many(specs, jobs=2, cache=False)
-        for a, b, c in zip(serial, cached, parallel):
+        for a, b, c in zip(serial, cached, parallel, strict=True):
             assert a == b == c
         # Cached results carry the original run's perf counters.
         assert cached[0].perf is not None

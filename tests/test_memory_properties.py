@@ -67,5 +67,5 @@ def test_mru_line_survives_any_single_fill(stream):
 def test_addresses_mapping_to_set_property(set_index, count):
     cache = Cache(CONFIG)
     generated = cache.addresses_mapping_to_set(set_index, count)
-    assert len(set(cache.tag(a) for a in generated)) == count
+    assert len({cache.tag(a) for a in generated}) == count
     assert all(cache.set_index(a) == set_index for a in generated)

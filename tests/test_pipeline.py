@@ -242,7 +242,7 @@ class TestSkipCycles:
 class TestFetchPolicies:
     def test_icount_selects_lowest_counts(self):
         threads = [ThreadContext(i, None) for i in range(4)]
-        for thread, count in zip(threads, (9, 2, 7, 4)):
+        for thread, count in zip(threads, (9, 2, 7, 4), strict=True):
             thread.icount = count
         chosen = icount_select(threads, 2)
         assert sorted(t.tid for t in chosen) == [1, 3]

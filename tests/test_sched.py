@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import scaled_config
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WorkloadError
 from repro.sched import (
     Job,
     PhaseAwareJob,
@@ -34,7 +34,7 @@ class TestJobs:
         assert job.workload == "gzip"
 
     def test_make_job_requires_name(self):
-        with pytest.raises(Exception):
+        with pytest.raises(WorkloadError):
             make_job("")
 
     def test_phase_aware_job_switches_workload(self):

@@ -164,7 +164,7 @@ class TestCanonicalNarrative:
             and (e.data or {}).get("direction") == "rise"
         ]
         assert len(rise_at) == len(sedate_at)
-        for rise, sedate in zip(rise_at, sedate_at):
+        for rise, sedate in zip(rise_at, sedate_at, strict=True):
             assert rise < sedate
             assert events[rise].cycle == events[sedate].cycle
 

@@ -47,17 +47,17 @@ class TestUopTables:
 
 
 def make_stats(**overrides):
-    base = dict(
-        thread=0,
-        workload="gzip",
-        committed=500,
-        fetched=520,
-        cycles=1000,
-        cycles_normal=700,
-        cycles_cooling=200,
-        cycles_sedated=100,
-        access_counts=tuple([42] + [0] * 12),
-    )
+    base = {
+        "thread": 0,
+        "workload": "gzip",
+        "committed": 500,
+        "fetched": 520,
+        "cycles": 1000,
+        "cycles_normal": 700,
+        "cycles_cooling": 200,
+        "cycles_sedated": 100,
+        "access_counts": tuple([42] + [0] * 12),
+    }
     base.update(overrides)
     return ThreadStats(**base)
 

@@ -37,6 +37,7 @@ DEFAULT_FILES = (
     "docs/architecture.md",
     "docs/cli.md",
     "docs/paper_map.md",
+    "docs/linting.md",
 )
 
 # Inline links; [text](target "title") and [text](target).  Images share

@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""Repo entry point for the static analyzer (``tools/lint.py [paths...]``).
+
+Equivalent to ``PYTHONPATH=src python -m repro.lint``; exists so the lint
+can be run from a clean checkout without exporting PYTHONPATH, matching
+how ``tools/check_links.py`` is invoked in CI.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
