@@ -10,6 +10,8 @@ Commands (documented with examples in docs/cli.md):
 * ``events`` — filter/summarize a JSONL event log written by ``run``.
 * ``trace`` — render a temperature strip chart from a saved result or an
   event log.
+* ``faults`` — run the same workload mix healthy and under an injected
+  fault plan and compare what the defense still delivers.
 """
 
 from __future__ import annotations
@@ -27,19 +29,32 @@ from .config import (
     scaled_config,
 )
 from .errors import ReproError
+from .faults import (
+    SENSOR_FAULT_MODES,
+    ActuatorFaultPlan,
+    FaultPlan,
+    SamplerFaultPlan,
+    SensorFaultPlan,
+)
 from .power import EnergyModel
 from .sim import ExperimentRunner, Simulator
 from .sim.results import load_result, save_result
 from .telemetry import (
     EventType,
     TelemetrySession,
+    fault_injection_counts,
     filter_events,
     load_events,
     summarize,
     trace_rows,
 )
 from .thermal import RCThermalModel
-from .workloads import MALICIOUS_VARIANTS, SPEC_PROFILES, workload_names
+from .workloads import (
+    MALICIOUS_VARIANTS,
+    SPEC_PROFILES,
+    intermittent_plan,
+    workload_names,
+)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -181,6 +196,86 @@ def cmd_attack(args) -> int:
     return 0
 
 
+def _fault_plan_from_args(args, thermal) -> FaultPlan:
+    sensor = None
+    if args.sensor is not None:
+        sensor = SensorFaultPlan(
+            mode=args.sensor,
+            rate=args.sensor_rate,
+            stuck_k=args.stuck_k,
+            bias_k_per_sample=args.bias_k,
+            burst_sigma_k=args.burst_sigma,
+        )
+    sampler = None
+    if args.miss_rate > 0.0 or args.late_rate > 0.0:
+        sampler = SamplerFaultPlan(
+            miss_rate=args.miss_rate,
+            late_rate=args.late_rate,
+            late_cycles=args.late_cycles,
+        )
+    actuator = None
+    if args.drop_rate > 0.0 or args.delay_cycles > 0:
+        actuator = ActuatorFaultPlan(
+            fail_rate=args.drop_rate, delay_cycles=args.delay_cycles
+        )
+    attacker = None
+    if args.intermittent:
+        attacker = intermittent_plan(
+            thermal,
+            on_seconds=args.on_ms * 1e-3,
+            off_seconds=args.off_ms * 1e-3,
+        )
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        sensor=sensor,
+        sampler=sampler,
+        actuator=actuator,
+        attacker=attacker,
+    )
+    if not plan.any_runtime_faults:
+        raise ReproError(
+            "no faults configured — pass --sensor MODE, --miss-rate/"
+            "--late-rate, --drop-rate/--delay-cycles, or --intermittent"
+        )
+    return plan
+
+
+def cmd_faults(args) -> int:
+    config = _config(args).with_policy(args.policy)
+    plan = _fault_plan_from_args(args, config.thermal)
+    healthy = Simulator(config, workloads=args.workloads).run()
+    session = TelemetrySession(jsonl_path=args.events)
+    faulted = Simulator(
+        config.with_faults(plan), workloads=args.workloads, telemetry=session
+    ).run()
+    session.close()
+    rows = []
+    for tid, name in enumerate(args.workloads):
+        before = healthy.threads[tid]
+        after = faulted.threads[tid]
+        rows.append([
+            f"t{tid} {name}",
+            before.ipc,
+            after.ipc,
+            f"{before.sedated_fraction:.0%} -> {after.sedated_fraction:.0%}",
+        ])
+    rows.append([
+        "emergencies", healthy.emergencies, faulted.emergencies, "",
+    ])
+    print(format_table(
+        ["thread", "healthy ipc", "faulted ipc", "sedated"], rows,
+        title=f"fault plan (seed {plan.seed}) vs {args.policy}",
+    ))
+    injected = fault_injection_counts(session.bus.events())
+    if injected:
+        print("injected:")
+        for name, count in injected.items():
+            print(f"  {name:<22} {count}")
+    if args.events:
+        print(f"events -> {args.events}")
+    return 0
+
+
 def cmd_temps(args) -> int:
     config = _config(args)
     model = RCThermalModel(config.thermal)
@@ -278,6 +373,46 @@ def build_parser() -> argparse.ArgumentParser:
                         help="on-disk result cache (e.g. .repro_cache)")
     _add_common(attack)
     attack.set_defaults(func=cmd_attack)
+
+    faults = sub.add_parser(
+        "faults", help="healthy vs faulted comparison under a fault plan")
+    faults.add_argument("workloads", nargs=2, metavar="WORKLOAD",
+                        help="two workload names (see `repro workloads`)")
+    faults.add_argument("--policy", default="sedation",
+                        choices=("ideal", "stop_and_go", "dvfs", "ttdfs",
+                                 "fetch_gating", "sedation"))
+    faults.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for every fault injector's private RNG")
+    faults.add_argument("--sensor", choices=SENSOR_FAULT_MODES,
+                        help="thermal sensor fault mode")
+    faults.add_argument("--sensor-rate", type=float, default=0.05,
+                        help="per-reading fault probability (dropout/burst)")
+    faults.add_argument("--stuck-k", type=float, default=None,
+                        help="stuck-at value in Kelvin (default: freeze)")
+    faults.add_argument("--bias-k", type=float, default=0.05,
+                        help="bias drift in Kelvin per reading")
+    faults.add_argument("--burst-sigma", type=float, default=8.0,
+                        help="burst noise sigma in Kelvin")
+    faults.add_argument("--miss-rate", type=float, default=0.0,
+                        help="probability an EWMA sampler tick is missed")
+    faults.add_argument("--late-rate", type=float, default=0.0,
+                        help="probability an EWMA sampler tick fires late")
+    faults.add_argument("--late-cycles", type=int, default=500,
+                        help="delay of a late sampler tick")
+    faults.add_argument("--drop-rate", type=float, default=0.0,
+                        help="probability a sedate/release command is lost")
+    faults.add_argument("--delay-cycles", type=int, default=0,
+                        help="actuation delay for sedate/release commands")
+    faults.add_argument("--intermittent", action="store_true",
+                        help="duty-cycle the attacker (iThermTroj-style)")
+    faults.add_argument("--on-ms", type=float, default=1.0,
+                        help="attacker on-phase length in milliseconds")
+    faults.add_argument("--off-ms", type=float, default=3.0,
+                        help="attacker off-phase length in milliseconds")
+    faults.add_argument("--events", metavar="LOG",
+                        help="stream the faulted run's events to JSONL")
+    _add_common(faults)
+    faults.set_defaults(func=cmd_faults)
 
     temps = sub.add_parser("temps", help="print the temperature ladder")
     _add_common(temps)

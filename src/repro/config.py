@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from .errors import ConfigError
+from .faults.plan import FaultPlan
 
 #: Paper operating points (Kelvin), from §4/§5 of the paper.  Two sedation
 #: thresholds are shifted relative to the paper's (356, 355) because this
@@ -244,6 +245,10 @@ class SimulationConfig:
     machine: MachineConfig = field(default_factory=MachineConfig)
     thermal: ThermalConfig = field(default_factory=ThermalConfig)
     sedation: SedationConfig = field(default_factory=SedationConfig)
+    #: Optional fault-injection plan (:mod:`repro.faults`).  ``None`` means a
+    #: healthy run.  The plan is part of this config and therefore of the run
+    #: cache fingerprint: faulted and clean runs can never collide on disk.
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.quantum_cycles < 1:
@@ -269,6 +274,10 @@ class SimulationConfig:
             self,
             thermal=replace(self.thermal, convection_resistance_k_per_w=r_k_per_w),
         )
+
+    def with_faults(self, faults: FaultPlan | None) -> SimulationConfig:
+        """Return a copy of this config with a fault-injection plan."""
+        return replace(self, faults=faults)
 
     def with_thresholds(self, upper_k: float, lower_k: float) -> SimulationConfig:
         """Return a copy with different sedation temperature thresholds."""

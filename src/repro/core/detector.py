@@ -33,6 +33,28 @@ def identify_culprit(
     return best
 
 
+def culprit_margin(
+    monitor: UsageMonitor, block: int, candidates: list[int]
+) -> float:
+    """Gap between the top two EWMAs at ``block`` (identification margin).
+
+    The margin is the detector's confidence: the paper's first key
+    observation is that attacker and victim averages are *widely* separated,
+    so a healthy run has a large margin.  Injected sensor/sampler faults
+    erode it — sedation telemetry records the margin with every SEDATE event
+    so the robustness experiments can see how close the defense came to
+    sedating the wrong thread.  Zero or fewer than two candidates means no
+    separation at all.
+    """
+    if len(candidates) < 2:
+        return 0.0
+    averages = sorted(
+        (monitor.weighted_average(tid, block) for tid in candidates),
+        reverse=True,
+    )
+    return averages[0] - averages[1]
+
+
 def rank_by_usage(
     monitor: UsageMonitor, block: int, candidates: list[int]
 ) -> list[tuple[int, float]]:

@@ -23,7 +23,7 @@ from ..errors import ConfigError
 class Ewma:
     """Float exponentially weighted moving average with power-of-two x."""
 
-    __slots__ = ("shift", "x", "value", "samples")
+    __slots__ = ("shift", "x", "value", "samples", "missed")
 
     def __init__(self, shift: int, initial: float = 0.0) -> None:
         if not 0 <= shift <= 30:
@@ -32,6 +32,7 @@ class Ewma:
         self.x = 1.0 / (1 << shift)
         self.value = initial
         self.samples = 0
+        self.missed = 0
 
     def update(self, sample: float) -> float:
         """Blend in one sample and return the new average."""
@@ -39,9 +40,22 @@ class Ewma:
         self.samples += 1
         return self.value
 
+    def miss(self) -> float:
+        """Record a missed sampling tick; the average is left untouched.
+
+        The hardware datapath has no "no sample arrived" input: a missed
+        tick simply does not clock the register, and the *next* sample's
+        rate is computed over the widened elapsed window (see
+        :meth:`repro.core.usage.UsageMonitor.sample`).  The counter exists
+        so fault-injection tests can assert how many ticks were lost.
+        """
+        self.missed += 1
+        return self.value
+
     def reset(self, value: float = 0.0) -> None:
         self.value = value
         self.samples = 0
+        self.missed = 0
 
     @property
     def window_samples(self) -> int:
@@ -57,7 +71,7 @@ class FixedPointEwma:
     "peripheral arithmetic logic" the paper budgets per resource per thread.
     """
 
-    __slots__ = ("shift", "fraction_bits", "raw", "samples")
+    __slots__ = ("shift", "fraction_bits", "raw", "samples", "missed")
 
     def __init__(self, shift: int, fraction_bits: int = 16) -> None:
         if not 0 <= shift <= 30:
@@ -68,11 +82,17 @@ class FixedPointEwma:
         self.fraction_bits = fraction_bits
         self.raw = 0
         self.samples = 0
+        self.missed = 0
 
     def update(self, sample: float) -> float:
         scaled = int(round(sample * (1 << self.fraction_bits)))
         self.raw += (scaled - self.raw) >> self.shift
         self.samples += 1
+        return self.value
+
+    def miss(self) -> float:
+        """Missed tick: the register is not clocked (see :meth:`Ewma.miss`)."""
+        self.missed += 1
         return self.value
 
     @property
@@ -82,3 +102,4 @@ class FixedPointEwma:
     def reset(self) -> None:
         self.raw = 0
         self.samples = 0
+        self.missed = 0

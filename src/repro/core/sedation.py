@@ -30,7 +30,7 @@ from ..pipeline.smt import SMTCore
 from ..telemetry.events import EventType
 from ..telemetry.session import NULL_TELEMETRY
 from ..thermal.sensors import SensorReading
-from .detector import identify_culprit
+from .detector import culprit_margin, identify_culprit
 from .reporting import OffenderReport, OSReportLog, ReportKind
 from .usage import UsageMonitor
 
@@ -65,6 +65,13 @@ class SelectiveSedationController:
         #: the simulator's session here via ``attach_telemetry``.
         self.telemetry = NULL_TELEMETRY
         self._above_upper = [False] * NUM_BLOCKS
+        #: optional :class:`repro.faults.injectors.ActuatorInjector`; when
+        #: set, sedate/release commands are routed through it (and may be
+        #: dropped or delayed).  The FSM's bookkeeping is unconditional —
+        #: the controller *believes* its command landed — so a dropped
+        #: actuation leaves a thread marked sedated that is still fetching,
+        #: which is exactly the failure the safety net must absorb.
+        self.actuator = None
 
     # -- queries -----------------------------------------------------------
 
@@ -94,6 +101,8 @@ class SelectiveSedationController:
         wait = int(
             self.config.cooling_wait_multiplier * self.expected_cooling_cycles
         )
+        if self.actuator is not None:
+            self.actuator.drain(reading.cycle)
         telemetry = self.telemetry
         for block in range(NUM_BLOCKS):
             temperature = float(reading.temperatures[block])
@@ -138,6 +147,14 @@ class SelectiveSedationController:
         else:
             self.core.set_sedated(tid, False)
 
+    def _actuate(self, cycle: int, action: str, tid: int, block: int | None,
+                 fn) -> None:
+        """Issue one actuation command, through the fault model if present."""
+        if self.actuator is None:
+            fn()
+        else:
+            self.actuator.submit(cycle, action, tid, block, fn)
+
     def _sedate_culprit(self, block: int, cycle: int, temperature: float) -> bool:
         candidates = self._candidates()
         if len(candidates) < 2:
@@ -147,8 +164,10 @@ class SelectiveSedationController:
         culprit = identify_culprit(self.monitor, block, candidates)
         if culprit is None:
             return False
+        margin = culprit_margin(self.monitor, block, candidates)
         self._sedated_for[block].add(culprit)
-        self._apply(culprit)
+        tid = culprit
+        self._actuate(cycle, "sedate", tid, block, lambda: self._apply(tid))
         self.sedations += 1
         self.telemetry.emit(
             EventType.SEDATE,
@@ -156,7 +175,10 @@ class SelectiveSedationController:
             thread=culprit,
             block=block,
             value=temperature,
-            data={"ewma": self.monitor.weighted_average(culprit, block)},
+            data={
+                "ewma": self.monitor.weighted_average(culprit, block),
+                "margin": margin,
+            },
         )
         if self.config.report_to_os:
             self.reports.record(
@@ -175,7 +197,10 @@ class SelectiveSedationController:
         for tid in sorted(self._sedated_for[block]):
             self._sedated_for[block].discard(tid)
             if not self.is_sedated(tid):
-                self._clear(tid)
+                self._actuate(
+                    cycle, "release", tid, block,
+                    lambda tid=tid: self._clear(tid),
+                )
             self.releases += 1
             self.telemetry.emit(
                 EventType.RELEASE,
@@ -216,6 +241,11 @@ class SelectiveSedationController:
                         value=temperature,
                         data={"safety_net": True},
                     )
+        # The safety net is the global reset path: it bypasses the actuator
+        # fault model entirely (stop-and-go is a chip-wide clock gate, not a
+        # per-thread command) and wipes any still-pending delayed commands.
+        if self.actuator is not None:
+            self.actuator.clear()
         for tid in self.sedated_threads():
             self._clear(tid)
         for block in range(NUM_BLOCKS):

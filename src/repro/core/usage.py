@@ -39,6 +39,7 @@ class UsageMonitor:
         self._last_counts = [list(counts) for counts in core.access_counts]
         self._last_cycle = core.cycle
         self.samples_taken = 0
+        self.samples_missed = 0
 
     def sample(self) -> None:
         """Take one sample: fold interval rates into the EWMAs.
@@ -69,6 +70,17 @@ class UsageMonitor:
                 last[block] = count
         self._last_cycle = cycle
         self.samples_taken += 1
+
+    def miss_sample(self) -> None:
+        """One sampling tick was lost (injected sampler fault).
+
+        Deliberately does *not* advance the snapshot: the counters keep
+        accumulating and the next successful :meth:`sample` computes its
+        rates over the widened window — the same behavior a hardware monitor
+        exhibits when a tick fails to clock the EWMA register
+        (:meth:`repro.core.ewma.Ewma.miss`).
+        """
+        self.samples_missed += 1
 
     def skip(self) -> None:
         """Advance the snapshot without sampling (global-stall periods)."""

@@ -43,3 +43,13 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """The top-level simulator was driven incorrectly."""
+
+
+class FaultError(ReproError):
+    """An injected fault fired (worker chaos) or a fault plan misbehaved.
+
+    Raised by :class:`repro.faults.plan.WorkerFaultPlan` chaos hooks when a
+    "crash" or transient failure is injected in-process; the batch runner
+    treats it like any other worker exception (retry, then
+    :class:`repro.sim.parallel.RunFailure`).
+    """

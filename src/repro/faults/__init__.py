@@ -1,0 +1,53 @@
+"""repro.faults — deterministic, seeded fault injection.
+
+The subsystem splits cleanly in two:
+
+* :mod:`repro.faults.plan` — frozen, picklable *descriptions* of faults
+  (:class:`FaultPlan` and its per-domain records).  A plan rides on
+  :attr:`repro.config.SimulationConfig.faults` and therefore inside the run
+  cache fingerprint; it imports nothing but the error types.
+* :mod:`repro.faults.injectors` — the runtime machinery
+  (:class:`FaultController` and one injector per domain), constructed fresh
+  per simulator from ``(plan, seed)`` so faulted runs stay byte-identical
+  across serial, worker-pool, and cache-replay execution.
+
+See docs/robustness.md for the taxonomy and the experiments built on it.
+"""
+
+from .injectors import (
+    SAMPLE_MISS,
+    SAMPLE_OK,
+    ActuatorInjector,
+    AttackerGate,
+    FaultController,
+    SamplerFaultInjector,
+    SensorFaultInjector,
+    domain_rng,
+)
+from .plan import (
+    SENSOR_FAULT_MODES,
+    ActuatorFaultPlan,
+    AttackerFaultPlan,
+    FaultPlan,
+    SamplerFaultPlan,
+    SensorFaultPlan,
+    WorkerFaultPlan,
+)
+
+__all__ = [
+    "SENSOR_FAULT_MODES",
+    "SAMPLE_MISS",
+    "SAMPLE_OK",
+    "ActuatorFaultPlan",
+    "ActuatorInjector",
+    "AttackerFaultPlan",
+    "AttackerGate",
+    "FaultController",
+    "FaultPlan",
+    "SamplerFaultInjector",
+    "SamplerFaultPlan",
+    "SensorFaultInjector",
+    "SensorFaultPlan",
+    "WorkerFaultPlan",
+    "domain_rng",
+]

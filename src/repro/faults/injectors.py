@@ -1,0 +1,345 @@
+"""Runtime fault injection: seeded, deterministic, telemetry-observable.
+
+One :class:`FaultController` is built per :class:`~repro.sim.Simulator` from
+the config's :class:`~repro.faults.plan.FaultPlan`.  It owns one injector
+per active fault domain, each with a private ``random.Random`` seeded from
+``(plan.seed, domain name)`` via CRC32 — process-independent, so a faulted
+run is byte-identical serial, in a worker pool, and replayed from a cache
+miss (the determinism contract of :mod:`repro.sim.parallel`).
+
+Every injected fault is emitted on the telemetry bus (``FAULT_SENSOR``,
+``FAULT_SAMPLER``, ``FAULT_ACTUATOR``, ``ATTACKER_PHASE``) so
+``repro events --summary`` narrates the degraded conditions right next to
+the sedations they perturb.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections import deque
+from collections.abc import Callable
+
+from ..errors import ConfigError
+from ..telemetry.events import EventType
+from ..telemetry.session import NULL_TELEMETRY
+from .plan import (
+    ActuatorFaultPlan,
+    AttackerFaultPlan,
+    FaultPlan,
+    SamplerFaultPlan,
+    SensorFaultPlan,
+)
+
+
+def domain_rng(seed: int, domain: str) -> random.Random:
+    """Private RNG for one fault domain, stable across processes.
+
+    CRC32 of the domain name salts the plan seed the same way workload
+    streams are seeded (unsalted zlib.crc32 — no ``PYTHONHASHSEED``
+    dependence), so two domains never share a stream and the sequence is
+    identical wherever the run executes.
+    """
+    return random.Random((seed << 17) ^ zlib.crc32(domain.encode("ascii")))
+
+
+class SensorFaultInjector:
+    """Corrupt sensor readings in place, before crossing detection.
+
+    The injector sees the temperature vector *after* the bank's Gaussian
+    noise and mutates it per the plan's mode; the sensor bank then runs its
+    normal edge-triggered emergency detection on the corrupted values —
+    faults propagate into emergencies, sedation triggers, and the DTM
+    policy exactly as a real bad sensor would.
+    """
+
+    def __init__(
+        self, plan: SensorFaultPlan, rng: random.Random, num_blocks: int
+    ) -> None:
+        if plan.blocks is not None:
+            for block in plan.blocks:
+                if not 0 <= block < num_blocks:
+                    raise ConfigError(
+                        f"sensor fault block {block} out of range "
+                        f"[0, {num_blocks})"
+                    )
+        self.plan = plan
+        self.rng = rng
+        self.blocks = (
+            tuple(range(num_blocks)) if plan.blocks is None else plan.blocks
+        )
+        self.telemetry = NULL_TELEMETRY
+        self.faults_injected = 0
+        self._frozen: dict[int, float] = {}   # stuck-at values per block
+        self._last_reported: dict[int, float] = {}  # for dropout hold
+        self._readings_seen = 0               # for bias drift slope
+        self._burst_left = 0
+        self._onset_emitted = False
+
+    def _emit(self, cycle: int, data: dict, value: float | None = None) -> None:
+        self.faults_injected += 1
+        self.telemetry.emit(
+            EventType.FAULT_SENSOR, cycle, value=value,
+            data={"mode": self.plan.mode, **data},
+        )
+
+    def apply(self, cycle: int, temperatures) -> None:
+        """Mutate one reading's temperature vector per the fault plan."""
+        plan = self.plan
+        if cycle < plan.start_cycle:
+            # Healthy so far; remember last good values for hold modes.
+            for block in self.blocks:
+                self._last_reported[block] = float(temperatures[block])
+            return
+        mode = plan.mode
+        if mode == "stuck_at":
+            if not self._frozen:
+                for block in self.blocks:
+                    self._frozen[block] = (
+                        plan.stuck_k
+                        if plan.stuck_k is not None
+                        else float(temperatures[block])
+                    )
+                self._emit(
+                    cycle,
+                    {"blocks": list(self.blocks),
+                     "stuck_k": [self._frozen[b] for b in self.blocks]},
+                )
+            for block, value in self._frozen.items():
+                temperatures[block] = value
+        elif mode == "dropout":
+            if self.rng.random() < plan.rate:
+                self._emit(cycle, {"blocks": list(self.blocks)},
+                           value=float(len(self.blocks)))
+                for block in self.blocks:
+                    temperatures[block] = self._last_reported.get(
+                        block, float(temperatures[block])
+                    )
+            else:
+                for block in self.blocks:
+                    self._last_reported[block] = float(temperatures[block])
+        elif mode == "bias_drift":
+            if not self._onset_emitted:
+                self._onset_emitted = True
+                self._emit(
+                    cycle,
+                    {"blocks": list(self.blocks),
+                     "bias_k_per_sample": plan.bias_k_per_sample},
+                )
+            self._readings_seen += 1
+            bias = plan.bias_k_per_sample * self._readings_seen
+            for block in self.blocks:
+                temperatures[block] += bias
+        else:  # burst_noise
+            if self._burst_left == 0 and self.rng.random() < plan.rate:
+                self._burst_left = plan.burst_len
+                self._emit(
+                    cycle,
+                    {"blocks": list(self.blocks),
+                     "sigma_k": plan.burst_sigma_k,
+                     "burst_len": plan.burst_len},
+                )
+            if self._burst_left > 0:
+                self._burst_left -= 1
+                gauss = self.rng.gauss
+                sigma = plan.burst_sigma_k
+                for block in self.blocks:
+                    temperatures[block] += gauss(0.0, sigma)
+
+
+#: Sampler verdicts: fire the sample now / drop this tick entirely.
+SAMPLE_OK = "ok"
+SAMPLE_MISS = "miss"
+
+
+class SamplerFaultInjector:
+    """Decide, per EWMA sampling tick, whether the sampler actually fired."""
+
+    def __init__(self, plan: SamplerFaultPlan, rng: random.Random) -> None:
+        self.plan = plan
+        self.rng = rng
+        self.telemetry = NULL_TELEMETRY
+        self.missed = 0
+        self.late = 0
+
+    def on_tick(self, cycle: int) -> tuple[str, int]:
+        """``(verdict, delay)``: ``("ok", 0)``, ``("miss", 0)``, or
+        ``("ok", n)`` meaning the tick fires ``n`` cycles late."""
+        plan = self.plan
+        draw = self.rng.random()
+        if draw < plan.miss_rate:
+            self.missed += 1
+            self.telemetry.emit(
+                EventType.FAULT_SAMPLER, cycle, data={"kind": "miss"}
+            )
+            return SAMPLE_MISS, 0
+        if draw < plan.miss_rate + plan.late_rate:
+            self.late += 1
+            self.telemetry.emit(
+                EventType.FAULT_SAMPLER, cycle,
+                value=float(plan.late_cycles), data={"kind": "late"},
+            )
+            return SAMPLE_OK, plan.late_cycles
+        return SAMPLE_OK, 0
+
+
+class ActuatorInjector:
+    """Drop or delay sedate/release commands on their way to the pipeline.
+
+    The controller's bookkeeping still records the decision (it *believes*
+    the command landed); only the physical actuation is perturbed.  Delayed
+    commands land at the next sensor boundary at or after ``cycle +
+    delay_cycles`` via :meth:`drain`.
+    """
+
+    def __init__(self, plan: ActuatorFaultPlan, rng: random.Random) -> None:
+        self.plan = plan
+        self.rng = rng
+        self.telemetry = NULL_TELEMETRY
+        self.dropped = 0
+        self.delayed = 0
+        self._pending: deque[tuple[int, Callable[[], None]]] = deque()
+
+    def submit(
+        self,
+        cycle: int,
+        action: str,
+        tid: int,
+        block: int | None,
+        fn: Callable[[], None],
+    ) -> None:
+        """Route one actuation command through the fault model."""
+        plan = self.plan
+        if plan.fail_rate > 0.0 and self.rng.random() < plan.fail_rate:
+            self.dropped += 1
+            self.telemetry.emit(
+                EventType.FAULT_ACTUATOR, cycle, thread=tid, block=block,
+                data={"action": action, "outcome": "dropped"},
+            )
+            return
+        if plan.delay_cycles > 0:
+            self.delayed += 1
+            self._pending.append((cycle + plan.delay_cycles, fn))
+            self.telemetry.emit(
+                EventType.FAULT_ACTUATOR, cycle, thread=tid, block=block,
+                value=float(plan.delay_cycles),
+                data={"action": action, "outcome": "delayed"},
+            )
+            return
+        fn()
+
+    def drain(self, cycle: int) -> None:
+        """Apply every pending command whose delay has elapsed."""
+        pending = self._pending
+        while pending and pending[0][0] <= cycle:
+            _, fn = pending.popleft()
+            fn()
+
+    def clear(self) -> None:
+        """Forget pending commands (global safety net resets everything)."""
+        self._pending.clear()
+
+
+class AttackerGate:
+    """Duty-cycle the malicious workload's fetch on a fixed schedule.
+
+    The gate owns the pause flag of each scheduled thread and toggles it at
+    sample/sensor boundaries — deterministic cycle arithmetic, no RNG.  An
+    "off" attacker fetches nothing: its access counters freeze, its power
+    contribution drops to leakage, and its EWMA decays toward zero, which
+    is precisely the signature an intermittent (iThermTroj-style) attacker
+    uses to duck under threshold defenses.
+    """
+
+    def __init__(self, plan: AttackerFaultPlan, threads: tuple[int, ...]) -> None:
+        self.plan = plan
+        self.threads = threads
+        self.telemetry = NULL_TELEMETRY
+        self.core = None
+        self.transitions = 0
+        self._on = True  # threads start unpaused until first boundary
+
+    def bind(self, core) -> None:
+        self.core = core
+
+    def is_on(self, cycle: int) -> bool:
+        plan = self.plan
+        phase = cycle % plan.period_cycles
+        on = phase < plan.on_cycles
+        return on if plan.start_on else not on
+
+    def on_boundary(self, cycle: int) -> None:
+        """Re-evaluate the schedule; toggle pause flags on a phase edge."""
+        if self.core is None or not self.threads:
+            return
+        on = self.is_on(cycle)
+        if on == self._on:
+            return
+        self._on = on
+        self.transitions += 1
+        for tid in self.threads:
+            self.core.set_paused(tid, not on)
+            self.telemetry.emit(
+                EventType.ATTACKER_PHASE, cycle, thread=tid,
+                data={"phase": "on" if on else "off"},
+            )
+
+
+class FaultController:
+    """Owner of every active injector for one simulator instance."""
+
+    def __init__(self, plan: FaultPlan, num_blocks: int) -> None:
+        self.plan = plan
+        self.sensor = (
+            SensorFaultInjector(
+                plan.sensor, domain_rng(plan.seed, "sensor"), num_blocks
+            )
+            if plan.sensor is not None
+            else None
+        )
+        self.sampler = (
+            SamplerFaultInjector(plan.sampler, domain_rng(plan.seed, "sampler"))
+            if plan.sampler is not None
+            else None
+        )
+        self.actuator = (
+            ActuatorInjector(plan.actuator, domain_rng(plan.seed, "actuator"))
+            if plan.actuator is not None
+            else None
+        )
+        self.attacker: AttackerGate | None = None  # built once threads known
+
+    def bind_attacker(self, core, malicious_threads: tuple[int, ...]) -> None:
+        """Instantiate the attacker gate once the thread map is known.
+
+        ``malicious_threads`` is the auto-detected set (threads running a
+        registered malicious variant); an explicit ``plan.attacker.threads``
+        overrides it.
+        """
+        plan = self.plan.attacker
+        if plan is None:
+            return
+        threads = plan.threads if plan.threads is not None else malicious_threads
+        self.attacker = AttackerGate(plan, tuple(threads))
+        self.attacker.bind(core)
+
+    def attach_telemetry(self, session) -> None:
+        for injector in (self.sensor, self.sampler, self.actuator,
+                         self.attacker):
+            if injector is not None:
+                injector.telemetry = session
+
+    def injected_summary(self) -> dict[str, int]:
+        """Deterministic per-domain fault counts (for reports and tests)."""
+        summary: dict[str, int] = {}
+        if self.sensor is not None:
+            summary["sensor"] = self.sensor.faults_injected
+        if self.sampler is not None:
+            summary["sampler_missed"] = self.sampler.missed
+            summary["sampler_late"] = self.sampler.late
+        if self.actuator is not None:
+            summary["actuator_dropped"] = self.actuator.dropped
+            summary["actuator_delayed"] = self.actuator.delayed
+        if self.attacker is not None:
+            summary["attacker_transitions"] = self.attacker.transitions
+        return summary

@@ -1,0 +1,243 @@
+"""Declarative fault plans: what to break, where, how often, and when.
+
+A :class:`FaultPlan` is a frozen, picklable description of every fault a run
+should experience.  It rides on :attr:`repro.config.SimulationConfig.faults`,
+which puts it inside :func:`repro.sim.parallel.spec_fingerprint` — two runs
+with different fault plans can never collide in the on-disk cache, and a
+faulted run is exactly as cacheable and parallelizable as a clean one.
+
+Plans are *descriptions only*: all runtime state (RNGs, pending actuations,
+frozen sensor values) lives in :mod:`repro.faults.injectors`, constructed
+fresh per simulator, so the same plan + seed reproduces byte-identically
+across serial, worker-process, and cache-warm execution.
+
+Four fault domains model the degraded conditions the paper's defense must
+survive (HeatSense, arXiv:2504.11421, on sensor faults; iThermTroj,
+arXiv:2507.05576, on intermittent thermal attacks), plus one chaos domain
+for the batch runner itself:
+
+* :class:`SensorFaultPlan` — stuck-at, dropout, bias drift, burst noise on
+  the thermal sensors;
+* :class:`SamplerFaultPlan` — missed or late EWMA usage samples;
+* :class:`ActuatorFaultPlan` — dropped or delayed sedate/release commands;
+* :class:`AttackerFaultPlan` — on/off duty cycling of the malicious
+  workload (threshold-defense evasion à la iThermTroj);
+* :class:`WorkerFaultPlan` — induced worker-process crashes, hangs, and
+  transient errors, used to exercise :func:`repro.sim.parallel.run_many`'s
+  retry/timeout/partial-failure machinery end to end.
+
+This module deliberately imports nothing but the error types so that
+:mod:`repro.config` can depend on it without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: Sensor fault modes (see :class:`SensorFaultPlan`).
+SENSOR_FAULT_MODES = ("stuck_at", "dropout", "bias_drift", "burst_noise")
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class SensorFaultPlan:
+    """Per-reading corruption of the thermal sensor bank.
+
+    ``mode`` selects the failure physics:
+
+    * ``"stuck_at"`` — from ``start_cycle`` on, affected sensors report a
+      constant: ``stuck_k`` if given, else the last healthy reading
+      (freeze-at-fault, the classic stuck-at-last-value failure);
+    * ``"dropout"`` — each reading is lost with probability ``rate``; a
+      lost reading repeats the sensor's previous reported value;
+    * ``"bias_drift"`` — affected sensors gain ``bias_k_per_sample`` Kelvin
+      of systematic error per reading (calibration drift);
+    * ``"burst_noise"`` — with probability ``rate`` per reading a noise
+      burst starts, adding Gaussian error (sigma ``burst_sigma_k``) for
+      ``burst_len`` consecutive readings.
+
+    ``blocks`` limits the fault to specific floorplan block ids (``None`` =
+    every sensor).  All randomness is drawn from the plan's seeded RNG, so
+    the fault sequence is a pure function of (plan, seed).
+    """
+
+    mode: str
+    rate: float = 0.0
+    blocks: tuple[int, ...] | None = None
+    start_cycle: int = 0
+    stuck_k: float | None = None
+    bias_k_per_sample: float = 0.0
+    burst_sigma_k: float = 0.0
+    burst_len: int = 5
+
+    def __post_init__(self) -> None:
+        if self.mode not in SENSOR_FAULT_MODES:
+            raise ConfigError(
+                f"unknown sensor fault mode {self.mode!r}; "
+                f"known: {SENSOR_FAULT_MODES}"
+            )
+        _check_rate("sensor fault rate", self.rate)
+        if self.start_cycle < 0:
+            raise ConfigError("start_cycle must be >= 0")
+        if self.burst_len < 1:
+            raise ConfigError("burst_len must be >= 1")
+        if self.burst_sigma_k < 0:
+            raise ConfigError("burst_sigma_k must be non-negative")
+        if self.mode == "dropout" and self.rate == 0.0:
+            raise ConfigError("dropout mode needs rate > 0")
+        if self.mode == "burst_noise" and (
+            self.rate == 0.0 or self.burst_sigma_k == 0.0
+        ):
+            raise ConfigError("burst_noise mode needs rate and burst_sigma_k")
+
+
+@dataclass(frozen=True)
+class SamplerFaultPlan:
+    """Missed or late ticks of the EWMA usage sampler.
+
+    The paper's monitor samples access rates on a fixed grid; a real
+    implementation shares that grid with other housekeeping and can miss or
+    defer ticks.  ``miss_rate`` drops a tick entirely (the next sample then
+    averages over the longer elapsed window — exactly what the counter
+    datapath of :class:`repro.core.ewma.Ewma` would do).  ``late_rate``
+    defers a tick by ``late_cycles`` before it fires.
+    """
+
+    miss_rate: float = 0.0
+    late_rate: float = 0.0
+    late_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        _check_rate("sampler miss_rate", self.miss_rate)
+        _check_rate("sampler late_rate", self.late_rate)
+        if self.late_cycles < 0:
+            raise ConfigError("late_cycles must be >= 0")
+        if self.late_rate > 0.0 and self.late_cycles == 0:
+            raise ConfigError("late_rate > 0 needs late_cycles > 0")
+        if self.miss_rate == 0.0 and self.late_rate == 0.0:
+            raise ConfigError("sampler fault plan with no faults configured")
+
+
+@dataclass(frozen=True)
+class ActuatorFaultPlan:
+    """Dropped or delayed sedate/release commands.
+
+    The sedation controller's decision is a signal that must cross the chip
+    to a fetch gate; ``fail_rate`` models the command being lost entirely
+    (the controller believes the thread is sedated, the pipeline keeps
+    fetching), ``delay_cycles`` models a slow actuation path (the command
+    lands that many cycles later, at the next sensor boundary).
+    """
+
+    fail_rate: float = 0.0
+    delay_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        _check_rate("actuator fail_rate", self.fail_rate)
+        if self.delay_cycles < 0:
+            raise ConfigError("delay_cycles must be >= 0")
+        if self.fail_rate == 0.0 and self.delay_cycles == 0:
+            raise ConfigError("actuator fault plan with no faults configured")
+
+
+@dataclass(frozen=True)
+class AttackerFaultPlan:
+    """On/off duty cycling of the malicious workload (iThermTroj-style).
+
+    An intermittent attacker runs its heat kernel for ``on_fraction`` of
+    every ``period_cycles``-cycle window and goes dark for the rest,
+    letting the victim resource cool below the release threshold between
+    bursts — the evasion pattern that defeats pure-threshold defenses.
+    ``threads`` names the duty-cycled hardware contexts; ``None`` applies
+    the schedule to every thread running a registered malicious variant.
+    """
+
+    period_cycles: int = 4000
+    on_fraction: float = 0.5
+    start_on: bool = True
+    threads: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.period_cycles < 2:
+            raise ConfigError("period_cycles must be >= 2")
+        if not 0.0 < self.on_fraction < 1.0:
+            raise ConfigError("on_fraction must be in (0, 1)")
+
+    @property
+    def on_cycles(self) -> int:
+        """Cycles of each period the attacker actually runs (>= 1)."""
+        return max(1, int(round(self.period_cycles * self.on_fraction)))
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """Chaos hooks for the batch runner's worker processes.
+
+    Attempt numbers are 0-based and threaded through by
+    :func:`repro.sim.parallel.run_many`, so "fail the first N attempts then
+    succeed" is expressible and fully deterministic:
+
+    * ``crash_attempts`` — attempts below this hard-kill the worker process
+      (``os._exit``), breaking the pool; in-process execution raises
+      :class:`repro.errors.FaultError` instead (a crash must never take
+      down the caller);
+    * ``hang_attempts`` / ``hang_seconds`` — attempts below
+      ``hang_attempts`` sleep for ``hang_seconds`` before running, long
+      enough to trip a per-spec timeout;
+    * ``fail_attempts`` — attempts below this raise a transient
+      :class:`repro.errors.FaultError` (the retry-then-succeed shape).
+
+    These faults live on the config (and therefore in the cache
+    fingerprint) so chaos runs are reproducible and never collide with
+    clean runs in the cache.
+    """
+
+    crash_attempts: int = 0
+    hang_attempts: int = 0
+    hang_seconds: float = 0.0
+    fail_attempts: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_attempts", "hang_attempts", "fail_attempts"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+        if self.hang_seconds < 0:
+            raise ConfigError("hang_seconds must be non-negative")
+        if self.hang_attempts > 0 and self.hang_seconds == 0.0:
+            raise ConfigError("hang_attempts > 0 needs hang_seconds > 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything a run should survive, in one picklable record.
+
+    Any domain left ``None`` is healthy.  ``seed`` feeds every injector's
+    private RNG (domain-salted, process-independent), so one plan replayed
+    anywhere produces the identical fault sequence.
+    """
+
+    seed: int = 0
+    sensor: SensorFaultPlan | None = None
+    sampler: SamplerFaultPlan | None = None
+    actuator: ActuatorFaultPlan | None = None
+    attacker: AttackerFaultPlan | None = None
+    worker: WorkerFaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ConfigError("fault seed must be >= 0")
+
+    @property
+    def any_runtime_faults(self) -> bool:
+        """True when any in-simulator domain (not worker chaos) is active."""
+        return any(
+            domain is not None
+            for domain in (self.sensor, self.sampler, self.actuator,
+                           self.attacker)
+        )

@@ -8,8 +8,8 @@ variables, or set iteration order — silently breaks that contract, and a
 broken contract means cached figures that no re-run can reproduce.
 
 This rule guards the packages that execute inside a fingerprinted run
-(``sim``, ``pipeline``, ``thermal``, ``dtm``, ``core``).  Code outside
-those packages (workload registries, CLI, analysis) may read the
+(``sim``, ``pipeline``, ``thermal``, ``dtm``, ``core``, ``faults``).  Code
+outside those packages (workload registries, CLI, analysis) may read the
 environment freely.
 """
 
@@ -22,7 +22,7 @@ from ..findings import Finding
 from ..registry import Module, Rule, register
 
 #: Packages whose modules run inside a fingerprinted simulation.
-GUARDED_PACKAGES = ("sim", "pipeline", "thermal", "dtm", "core")
+GUARDED_PACKAGES = ("sim", "pipeline", "thermal", "dtm", "core", "faults")
 
 #: ``random.<fn>`` calls that touch the process-global RNG.  Constructing a
 #: seeded ``random.Random(...)`` instance is the sanctioned pattern.

@@ -134,6 +134,15 @@ class SMTCore:
             raise PipelineError("throttle modulus must be >= 0")
         self.threads[tid].throttle_modulus = modulus
 
+    def set_paused(self, tid: int, paused: bool) -> None:
+        """Pause (the workload goes quiet) or resume one thread's fetch.
+
+        Used by the intermittent-attacker gate (:mod:`repro.faults`): unlike
+        :meth:`set_sedated` this models the *workload's own* off phase, so
+        the sedation controller's per-thread state is untouched.
+        """
+        self.threads[tid].paused = paused
+
     def sedated_threads(self) -> list[int]:
         return [t.tid for t in self.threads if t.sedated]
 
@@ -206,6 +215,7 @@ class SMTCore:
             if (
                 thread.halted
                 or thread.sedated
+                or thread.paused
                 or thread.miss_block is not None
                 or thread.mispredict_gate is not None
             ):
@@ -266,6 +276,7 @@ class SMTCore:
             if (
                 t.halted
                 or t.sedated
+                or t.paused
                 or t.miss_block is not None
                 or t.mispredict_gate is not None
                 or cycle < t.fetch_blocked_until

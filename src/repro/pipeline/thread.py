@@ -26,6 +26,10 @@ class ThreadContext:
     * ``throttle_modulus`` — throttled sedation (an ablation of the paper's
       full fetch gate): when nonzero, the thread may fetch only on cycles
       divisible by the modulus.
+    * ``paused`` — the workload itself has gone quiet: the intermittent
+      attacker's off phase (:class:`repro.faults.injectors.AttackerGate`).
+      Distinct from ``sedated`` so the defense's view (who did *it* gate)
+      never conflates with the attacker's own duty cycling.
     """
 
     __slots__ = (
@@ -36,6 +40,7 @@ class ThreadContext:
         "writer_table",
         "icount",
         "sedated",
+        "paused",
         "throttle_modulus",
         "fetch_blocked_until",
         "mispredict_gate",
@@ -60,6 +65,7 @@ class ThreadContext:
         self.writer_table: list[Uop | None] = [None] * TOTAL_REGS
         self.icount = 0
         self.sedated = False
+        self.paused = False
         self.throttle_modulus = 0
         self.fetch_blocked_until = 0
         self.mispredict_gate: Uop | None = None
@@ -82,6 +88,7 @@ class ThreadContext:
         return not (
             self.halted
             or self.sedated
+            or self.paused
             or self.miss_block is not None
             or self.mispredict_gate is not None
             or cycle < self.fetch_blocked_until

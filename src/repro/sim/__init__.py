@@ -2,7 +2,14 @@
 
 from .campaign import CampaignResult, QuantumRecord, run_campaign
 from .experiment import ExperimentRunner
-from .parallel import CampaignSpec, RunSpec, run_many, spec_fingerprint
+from .parallel import (
+    RUNNER_METRICS,
+    CampaignSpec,
+    RunFailure,
+    RunSpec,
+    run_many,
+    spec_fingerprint,
+)
 from .simulator import Simulator, run_workloads
 from .stats import RunResult, ThreadStats
 
@@ -10,6 +17,8 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "ExperimentRunner",
+    "RUNNER_METRICS",
+    "RunFailure",
     "RunResult",
     "RunSpec",
     "run_many",

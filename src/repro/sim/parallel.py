@@ -19,6 +19,22 @@ experiment harness (:class:`~repro.sim.experiment.ExperimentRunner`) and
 :func:`~repro.sim.campaign.run_campaign` route through it when given a
 cache directory and/or a job count.
 
+The runner is hardened against the three ways a big campaign dies
+(docs/robustness.md):
+
+* a **crashed worker** (``BrokenProcessPool``) — the surviving specs are
+  re-executed serially instead of aborting the whole batch;
+* a **hung spec** — ``timeout`` bounds every attempt, in the pool (via
+  ``future.result(timeout)``) and serially (via a watchdog thread);
+* a **flaky spec** — ``retries`` bounds re-attempts, with exponential
+  backoff and deterministic (fingerprint-salted, never wall-clock) jitter.
+
+With ``raise_on_error=False`` every spec that still fails after retries
+yields a :class:`RunFailure` record in its result slot — partial results,
+never an all-or-nothing abort.  Corrupt cache entries are quarantined to
+``<cache_dir>/quarantine/`` and counted in :data:`RUNNER_METRICS`, never
+silently swallowed.
+
 The fingerprint includes a schema number and the result-format version:
 bump either and old cache entries are silently ignored (never misread).
 """
@@ -29,26 +45,44 @@ import dataclasses
 import hashlib
 import json
 import os
-from collections.abc import Iterable, Sequence
+import threading
+import time
+import zlib
+from collections.abc import Iterable
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..config import SimulationConfig
+from ..errors import FaultError, SimulationError
+from ..telemetry.metrics import MetricsRegistry
 from .campaign import CampaignResult, QuantumRecord, run_campaign
 from .results import FORMAT_VERSION, result_from_dict, result_to_dict
 from .simulator import run_workloads
 from .stats import RunResult
 
 #: Cache-key schema.  Bump when the fingerprint inputs or the cached
-#: payload shape change incompatibly.
-CACHE_SCHEMA = 1
+#: payload shape change incompatibly.  Schema 2: ``SimulationConfig`` grew
+#: the ``faults`` field (fault plans ride the fingerprint).
+CACHE_SCHEMA = 2
 
 #: Default on-disk cache location (relative to the current directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
 
 #: Environment variable consulted for the default worker count.
 JOBS_ENV = "REPRO_BENCH_JOBS"
+
+#: Base backoff delay (seconds) before a retry; attempt ``n`` waits
+#: ``BACKOFF_BASE_S * 2**(n-1) * (1 + jitter)`` with jitter in [0, 1)
+#: derived from the spec fingerprint — deterministic, not wall-clock.
+BACKOFF_BASE_S = 0.05
+
+#: Process-wide counters for the batch runner and the cache: quarantined
+#: entries, retries, timeouts, pool breaks, and final failures.  A process
+#: concern, not a simulation result, so it lives here rather than on any
+#: per-run telemetry session.
+RUNNER_METRICS = MetricsRegistry()
 
 
 @dataclass(frozen=True)
@@ -80,6 +114,29 @@ class CampaignSpec:
     config: SimulationConfig
     quanta: int
     quantum_cycles: int | None = None
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One spec's terminal failure record (``raise_on_error=False`` mode).
+
+    Takes the failed spec's slot in :func:`run_many`'s result list, so a
+    partial campaign stays index-aligned with its input.  ``kind`` is
+    ``"timeout"``, ``"crash"`` (the pool broke and the serial re-run also
+    failed), or ``"error"``; ``attempts`` counts every attempt made
+    (1 + retries at most).  Failures are never written to the cache.
+    """
+
+    workloads: tuple[str, ...]
+    fingerprint: str
+    kind: str
+    error: str
+    attempts: int
+
+    @property
+    def ok(self) -> bool:
+        """Always False — lets ``isinstance``-free code filter slots."""
+        return False
 
 
 def default_jobs() -> int:
@@ -125,6 +182,17 @@ def spec_fingerprint(spec: RunSpec | CampaignSpec) -> str:
 
 # -- worker entry point ------------------------------------------------------
 
+#: True only in pool worker processes (set by the pool initializer).  The
+#: injected-crash chaos hook hard-kills real workers but merely raises when
+#: executed in-process — a chaos plan must never take down the caller.
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:
+    """ProcessPoolExecutor initializer: flag this process as a worker."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
 
 def _execute(spec: RunSpec | CampaignSpec) -> RunResult | CampaignResult:
     """Run one spec.  Module-level so ProcessPoolExecutor can pickle it."""
@@ -147,6 +215,73 @@ def _execute(spec: RunSpec | CampaignSpec) -> RunResult | CampaignResult:
         trace=spec.trace,
         telemetry=session,
     )
+
+
+def _execute_attempt(
+    spec: RunSpec | CampaignSpec, attempt: int
+) -> RunResult | CampaignResult:
+    """Run one spec's attempt number ``attempt``, honoring worker chaos.
+
+    The :class:`~repro.faults.plan.WorkerFaultPlan` hooks fire on attempt
+    numbers below their thresholds, so "crash the first attempt, succeed on
+    retry" is a deterministic property of the spec — it reproduces
+    identically at any job count.
+    """
+    plan = spec.config.faults
+    chaos = plan.worker if plan is not None else None
+    if chaos is not None:
+        if attempt < chaos.crash_attempts:
+            if _IN_WORKER:
+                os._exit(13)  # hard worker death: the pool breaks
+            raise FaultError(f"injected worker crash (attempt {attempt})")
+        if attempt < chaos.hang_attempts:
+            # A hung worker, not a simulation event: wall sleep is the
+            # point, and the per-spec timeout is what must catch it.
+            time.sleep(chaos.hang_seconds)
+        if attempt < chaos.fail_attempts:
+            raise FaultError(f"injected transient failure (attempt {attempt})")
+    return _execute(spec)
+
+
+def _execute_with_watchdog(
+    spec: RunSpec | CampaignSpec, attempt: int, timeout: float
+) -> RunResult | CampaignResult:
+    """Serial execution with the same per-spec timeout the pool enforces.
+
+    The attempt runs in a daemon thread; if it outlives ``timeout`` the
+    caller moves on (the thread is abandoned — it holds no locks and its
+    simulator state is garbage the moment we stop waiting).  This is what
+    keeps the BrokenProcessPool serial fallback from hanging forever when
+    one of the surviving specs is itself a hang.
+    """
+    box: list = []
+
+    def _target() -> None:
+        try:
+            box.append(("ok", _execute_attempt(spec, attempt)))
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            box.append(("error", error))
+
+    thread = threading.Thread(target=_target, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise TimeoutError(f"spec exceeded {timeout:.3f}s (serial watchdog)")
+    status, value = box[0]
+    if status == "error":
+        raise value
+    return value
+
+
+def _backoff_seconds(key: str, attempt: int) -> float:
+    """Exponential backoff with deterministic, fingerprint-salted jitter.
+
+    Two specs retrying in lockstep get different jitter (their fingerprints
+    differ), and the same spec gets the same schedule on every machine —
+    no wall clock, no global RNG, nothing the determinism lint forbids.
+    """
+    jitter = zlib.crc32(f"{key}:{attempt}".encode()) / 2**32
+    return BACKOFF_BASE_S * (2 ** (attempt - 1)) * (1.0 + jitter)
 
 
 # -- on-disk cache -----------------------------------------------------------
@@ -192,6 +327,28 @@ def _cache_path(cache_dir: Path, key: str) -> Path:
     return cache_dir / f"{key}.json"
 
 
+#: Subdirectory of the cache that receives corrupt entries.
+QUARANTINE_DIR = "quarantine"
+
+
+def _quarantine(cache_dir: Path, path: Path, reason: str) -> None:
+    """Move one unreadable cache entry aside and count it.
+
+    Quarantined files keep their name under ``<cache_dir>/quarantine/`` so
+    a human (or a bug report) can inspect exactly what was on disk; the
+    entry becomes a plain miss and is re-simulated.  Never raises — cache
+    hygiene must not take down a campaign.
+    """
+    quarantine = cache_dir / QUARANTINE_DIR
+    try:
+        quarantine.mkdir(parents=True, exist_ok=True)
+        os.replace(path, quarantine / path.name)
+    except OSError:
+        return
+    RUNNER_METRICS.inc("cache.quarantined")
+    RUNNER_METRICS.inc(f"cache.quarantined.{reason}")
+
+
 def _cache_load(
     cache_dir: Path | None, key: str
 ) -> RunResult | CampaignResult | None:
@@ -200,17 +357,56 @@ def _cache_load(
     path = _cache_path(cache_dir, key)
     try:
         payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        return None  # a plain miss: nothing was ever stored
     except (OSError, ValueError):
+        # The file exists but cannot be read or parsed: that is corruption,
+        # not a miss — quarantine it so it is observable and inspectable.
+        _quarantine(cache_dir, path, "unreadable")
         return None
     try:
         if payload.get("fingerprint") != key:
+            _quarantine(cache_dir, path, "fingerprint_mismatch")
             return None
         if payload["kind"] == "campaign":
             return _campaign_from_dict(payload["result"])
         return result_from_dict(payload["result"])
     except Exception:
-        # A corrupt or stale-format entry is a miss, not a crash.
+        # Parsed JSON whose shape no longer matches the result format —
+        # a stale or mangled entry.  Quarantine rather than swallow.
+        _quarantine(cache_dir, path, "bad_shape")
         return None
+
+
+def _sweep_stale_tmp(cache_dir: Path) -> int:
+    """Remove ``*.tmp`` files stranded by dead writers; returns the count.
+
+    Tmp names embed the writer's pid (``<key>.json.<pid>.tmp``); a tmp file
+    whose pid is no longer alive can never be published and is deleted.
+    Live writers' files are left alone — no wall-clock ageing involved.
+    """
+    removed = 0
+    for tmp in sorted(cache_dir.glob("*.json.*.tmp")):
+        try:
+            pid = int(tmp.suffixes[-2].lstrip("."))
+        except (ValueError, IndexError):
+            continue
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            pass  # the writer is gone; its tmp file is garbage
+        except (PermissionError, OSError):
+            continue  # pid exists (or is unknowable): leave the file alone
+        else:
+            continue  # pid alive: an in-flight write
+        try:
+            tmp.unlink()
+            removed += 1
+        except OSError:
+            continue
+    if removed:
+        RUNNER_METRICS.inc("cache.stale_tmp_removed", removed)
+    return removed
 
 
 def _cache_store(
@@ -230,13 +426,154 @@ def _cache_store(
     body["workloads"] = list(spec.workloads)
     path = _cache_path(cache_dir, key)
     # Atomic publish: concurrent writers (parallel pytest sessions) race
-    # benignly — both write identical bytes and os.replace is atomic.
+    # benignly — both write identical bytes and os.replace is atomic.  The
+    # finally clause keeps a failed write (ENOSPC, a signal between
+    # write_text and replace) from stranding the tmp file.
     tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(json.dumps(body, separators=(",", ":")))
-    os.replace(tmp, path)
+    try:
+        tmp.write_text(json.dumps(body, separators=(",", ":")))
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 # -- the batch runner --------------------------------------------------------
+
+
+def _note_failed_attempt(
+    key: str,
+    spec: RunSpec | CampaignSpec,
+    kind: str,
+    message: str,
+    attempts: dict[str, int],
+    retries: int,
+    outcomes: dict[str, RunResult | CampaignResult | RunFailure],
+    retry_list: list[tuple[str, RunSpec | CampaignSpec]],
+) -> None:
+    """Book one failed attempt: queue a retry or record the RunFailure."""
+    attempts[key] += 1
+    RUNNER_METRICS.inc(f"runner.attempt_{kind}")
+    if attempts[key] > retries:
+        RUNNER_METRICS.inc("runner.failures")
+        outcomes[key] = RunFailure(
+            workloads=spec.workloads,
+            fingerprint=key,
+            kind=kind,
+            error=message,
+            attempts=attempts[key],
+        )
+    else:
+        RUNNER_METRICS.inc("runner.retries")
+        retry_list.append((key, spec))
+
+
+def _run_serial(
+    work: list[tuple[str, RunSpec | CampaignSpec]],
+    attempts: dict[str, int],
+    timeout: float | None,
+    retries: int,
+    outcomes: dict[str, RunResult | CampaignResult | RunFailure],
+) -> None:
+    """Execute specs in-process with the full retry/timeout discipline."""
+    for key, spec in work:
+        while key not in outcomes:
+            attempt = attempts[key]
+            try:
+                if timeout is not None:
+                    outcomes[key] = _execute_with_watchdog(
+                        spec, attempt, timeout
+                    )
+                else:
+                    outcomes[key] = _execute_attempt(spec, attempt)
+            except TimeoutError as error:
+                retry_list: list[tuple[str, RunSpec | CampaignSpec]] = []
+                _note_failed_attempt(
+                    key, spec, "timeout", str(error), attempts, retries,
+                    outcomes, retry_list,
+                )
+                if retry_list:
+                    time.sleep(_backoff_seconds(key, attempts[key]))
+            except Exception as error:
+                retry_list = []
+                _note_failed_attempt(
+                    key, spec, "error", f"{type(error).__name__}: {error}",
+                    attempts, retries, outcomes, retry_list,
+                )
+                if retry_list:
+                    time.sleep(_backoff_seconds(key, attempts[key]))
+
+
+def _run_pool(
+    work: list[tuple[str, RunSpec | CampaignSpec]],
+    attempts: dict[str, int],
+    timeout: float | None,
+    retries: int,
+    outcomes: dict[str, RunResult | CampaignResult | RunFailure],
+    workers: int,
+) -> None:
+    """Execute specs in a worker pool; degrade to serial if the pool breaks.
+
+    One pool round submits every remaining spec as its own future and
+    collects them in submission order with a per-spec ``timeout``.  Failed
+    attempts requeue (with backoff) into the next round's pool.  A
+    ``BrokenProcessPool`` — some worker hard-died, taking every in-flight
+    future's outcome with it — falls back to :func:`_run_serial` for all
+    still-unresolved specs: graceful degradation, not abort.  In-process,
+    an injected crash raises :class:`~repro.errors.FaultError` instead of
+    killing the caller, so the normal retry bookkeeping applies.
+    """
+    remaining = work
+    while remaining:
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(remaining)), initializer=_mark_worker
+        )
+        retry_list: list[tuple[str, RunSpec | CampaignSpec]] = []
+        try:
+            futures = [
+                (pool.submit(_execute_attempt, spec, attempts[key]), key, spec)
+                for key, spec in remaining
+            ]
+            for future, key, spec in futures:
+                try:
+                    outcomes[key] = future.result(timeout=timeout)
+                except BrokenProcessPool:
+                    raise  # handled by the outer except: serial fallback
+                except TimeoutError as error:
+                    future.cancel()
+                    message = str(error) or (
+                        f"spec exceeded {timeout:.3f}s in worker"
+                    )
+                    _note_failed_attempt(
+                        key, spec, "timeout", message, attempts, retries,
+                        outcomes, retry_list,
+                    )
+                except Exception as error:
+                    _note_failed_attempt(
+                        key, spec, "error",
+                        f"{type(error).__name__}: {error}", attempts,
+                        retries, outcomes, retry_list,
+                    )
+        except BrokenProcessPool:
+            RUNNER_METRICS.inc("runner.pool_breaks")
+            survivors = [
+                (key, spec)
+                for key, spec in remaining
+                if key not in outcomes
+            ] + retry_list
+            _run_serial(survivors, attempts, timeout, retries, outcomes)
+            return
+        finally:
+            # wait=False: a hung worker must not stall the batch past its
+            # timeout; abandoned tasks die with the interpreter.
+            pool.shutdown(wait=False, cancel_futures=True)
+        remaining = retry_list
+        if remaining:
+            time.sleep(
+                max(
+                    _backoff_seconds(key, attempts[key])
+                    for key, _ in remaining
+                )
+            )
 
 
 def run_many(
@@ -244,7 +581,10 @@ def run_many(
     jobs: int | None = None,
     cache_dir: str | Path | None = DEFAULT_CACHE_DIR,
     cache: bool = True,
-) -> list[RunResult | CampaignResult]:
+    timeout: float | None = None,
+    retries: int = 0,
+    raise_on_error: bool = True,
+) -> list[RunResult | CampaignResult | RunFailure]:
     """Run a batch of specs, in parallel, through the on-disk cache.
 
     Results come back in input order.  Cache hits never touch a worker;
@@ -253,11 +593,35 @@ def run_many(
     ``jobs<=1`` or a single miss runs in-process, so small batches carry no
     pool-spawn overhead.  ``cache=False`` (or ``cache_dir=None``) disables
     the disk cache entirely.
+
+    Robustness knobs (docs/robustness.md):
+
+    * ``timeout`` — wall seconds each *attempt* may take; a spec that
+      exceeds it counts as a failed attempt.  Enforced in the pool and in
+      serial execution alike.
+    * ``retries`` — failed attempts (timeouts, worker exceptions) are
+      re-executed up to this many times, with exponential backoff and
+      deterministic jitter, before the spec is declared failed.
+    * ``raise_on_error`` — ``True`` (default) raises
+      :class:`~repro.errors.SimulationError` naming every failed spec
+      after the *whole batch* has been driven to completion; ``False``
+      returns a :class:`RunFailure` in each failed spec's slot instead.
+
+    A crashed worker process (``BrokenProcessPool``) never aborts the
+    batch: every spec without a result is re-executed serially.
     """
+    if retries < 0:
+        raise SimulationError("retries must be >= 0")
+    if timeout is not None and timeout <= 0:
+        raise SimulationError("timeout must be positive")
     spec_list = list(specs)
     directory = Path(cache_dir) if (cache and cache_dir is not None) else None
+    if directory is not None and directory.is_dir():
+        _sweep_stale_tmp(directory)
 
-    results: list[RunResult | CampaignResult | None] = [None] * len(spec_list)
+    results: list[RunResult | CampaignResult | RunFailure | None] = (
+        [None] * len(spec_list)
+    )
     order: list[str] = []  # first-seen fingerprints still to execute
     pending: dict[str, list[int]] = {}  # fingerprint -> indices needing it
     for index, spec in enumerate(spec_list):
@@ -273,20 +637,31 @@ def run_many(
             order.append(key)
 
     if order:
-        todo: Sequence[RunSpec | CampaignSpec] = [
-            spec_list[pending[key][0]] for key in order
-        ]
+        work = [(key, spec_list[pending[key][0]]) for key in order]
+        attempts = dict.fromkeys(order, 0)
+        outcomes: dict[str, RunResult | CampaignResult | RunFailure] = {}
         workers = default_jobs() if jobs is None else max(1, jobs)
-        if workers <= 1 or len(todo) == 1:
-            fresh = [_execute(spec) for spec in todo]
+        if workers <= 1 or len(work) == 1:
+            _run_serial(work, attempts, timeout, retries, outcomes)
         else:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(todo))
-            ) as pool:
-                fresh = list(pool.map(_execute, todo))
-        for key, spec, result in zip(order, todo, fresh, strict=True):
-            _cache_store(directory, key, spec, result)
+            _run_pool(work, attempts, timeout, retries, outcomes, workers)
+        for key, spec in work:
+            outcome = outcomes[key]
+            if not isinstance(outcome, RunFailure):
+                _cache_store(directory, key, spec, outcome)
             for index in pending[key]:
-                results[index] = result
+                results[index] = outcome
 
+    failures = [r for r in results if isinstance(r, RunFailure)]
+    if failures and raise_on_error:
+        detail = "; ".join(
+            f"{'+'.join(f.workloads)}: {f.kind} after {f.attempts} "
+            f"attempt(s) ({f.error})"
+            for f in failures[:3]
+        )
+        more = f" (+{len(failures) - 3} more)" if len(failures) > 3 else ""
+        raise SimulationError(
+            f"{len(failures)} of {len(spec_list)} spec(s) failed: "
+            f"{detail}{more}"
+        )
     return results  # type: ignore[return-value]  # every slot is filled

@@ -22,14 +22,15 @@ from ..core.sedation import SelectiveSedationController
 from ..core.usage import UsageMonitor
 from ..dtm import DTMPolicy, DVFS, FetchGating, SedationPolicy, StopAndGo, TTDFS
 from ..errors import SimulationError
+from ..faults.injectors import SAMPLE_MISS, FaultController
 from ..perf import PerfCounters
-from ..blocks import INT_RF
+from ..blocks import INT_RF, NUM_BLOCKS
 from ..pipeline.smt import SMTCore
 from ..pipeline.source import UopSource
 from ..power import EnergyModel, PowerAccountant
 from ..telemetry import TelemetrySession, trace_row
 from ..thermal import Floorplan, RCThermalModel, SensorBank
-from ..workloads.registry import make_source
+from ..workloads.registry import is_malicious, make_source
 from .stats import RunResult, ThreadStats
 
 
@@ -96,6 +97,29 @@ class Simulator:
             self.policy.attach_telemetry(telemetry)
             self.core.telemetry = telemetry
         self._last_thermal_cycle = self.core.cycle
+        #: fault-injection controller (:mod:`repro.faults`); ``None`` for a
+        #: healthy run, so the fast path stays branch-free.
+        self.faults: FaultController | None = None
+        plan = config.faults
+        if plan is not None and plan.any_runtime_faults:
+            controller = FaultController(plan, NUM_BLOCKS)
+            if controller.sensor is not None:
+                self.sensors.fault_injector = controller.sensor
+            controller.bind_attacker(
+                self.core,
+                tuple(
+                    tid
+                    for tid, name in enumerate(self.workload_names)
+                    if is_malicious(name)
+                ),
+            )
+            if controller.actuator is not None and isinstance(
+                self.policy, SedationPolicy
+            ):
+                self.policy.controller.actuator = controller.actuator
+            if telemetry is not None:
+                controller.attach_telemetry(telemetry)
+            self.faults = controller
 
     def _build_policy(self) -> DTMPolicy:
         thermal = self.config.thermal
@@ -145,10 +169,18 @@ class Simulator:
         seconds_per_cycle = thermal_cfg.seconds_per_cycle
 
         telemetry = self.telemetry
+        faults = self.faults
+        fault_sampler = faults.sampler if faults is not None else None
+        attacker_gate = faults.attacker if faults is not None else None
+        sampler_late_fire = False
         start = core.cycle
         target = start + quantum
         next_sample = start + sample_interval
         next_sensor = start + sensor_interval
+        if attacker_gate is not None:
+            # Establish the schedule's phase at quantum start (a start_on
+            # =False plan pauses its threads before the first fetch).
+            attacker_gate.on_boundary(start)
         trace_rows: list[tuple[int, float, float]] = []
         # Snapshot cumulative counters so the result reports THIS run only
         # (simulators may be run for several consecutive quanta).
@@ -178,8 +210,11 @@ class Simulator:
                         (core.cycle, reading.hottest_k, float(reading.temperatures[0]))
                     )
                 policy.on_sensor(reading)
+                if attacker_gate is not None:
+                    attacker_gate.on_boundary(core.cycle)
                 next_sample = core.cycle + sample_interval
                 next_sensor = core.cycle + sensor_interval
+                sampler_late_fire = False  # the stall supersedes a late tick
                 continue
 
             boundary = min(next_sample, next_sensor, target)
@@ -187,12 +222,29 @@ class Simulator:
             if span > 0:
                 self._run_span(span)
             if core.cycle >= next_sample:
-                self.monitor.sample()
-                if telemetry is not None:
-                    telemetry.maybe_ewma_snapshot(
-                        core.cycle, INT_RF, self.monitor.averages_at(INT_RF)
-                    )
-                next_sample += sample_interval
+                fire = True
+                if fault_sampler is not None and not sampler_late_fire:
+                    verdict, delay = fault_sampler.on_tick(core.cycle)
+                    if verdict == SAMPLE_MISS:
+                        # Lost tick: the next sample averages over the
+                        # widened window (UsageMonitor keeps its snapshot).
+                        fire = False
+                        self.monitor.miss_sample()
+                        next_sample += sample_interval
+                    elif delay:
+                        # Deferred tick: fires late, then the grid resumes
+                        # from the late firing point.
+                        fire = False
+                        sampler_late_fire = True
+                        next_sample = core.cycle + delay
+                if fire:
+                    sampler_late_fire = False
+                    self.monitor.sample()
+                    if telemetry is not None:
+                        telemetry.maybe_ewma_snapshot(
+                            core.cycle, INT_RF, self.monitor.averages_at(INT_RF)
+                        )
+                    next_sample += sample_interval
             if core.cycle >= next_sensor:
                 powers = self.accountant.block_powers(policy.power_scale)
                 self._advance_thermal(powers)
@@ -208,6 +260,8 @@ class Simulator:
                         (core.cycle, reading.hottest_k, float(reading.temperatures[0]))
                     )
                 policy.on_sensor(reading)
+                if attacker_gate is not None:
+                    attacker_gate.on_boundary(core.cycle)
                 next_sensor += sensor_interval
 
         wall_seconds = time.perf_counter() - wall_start  # repro: noqa(RPR001) perf diagnostics only

@@ -33,7 +33,9 @@ from .events import (
 from .metrics import Histogram, MetricsRegistry
 from .session import NULL_TELEMETRY, NullTelemetry, TelemetrySession
 from .summary import (
+    FAULT_EVENT_TYPES,
     counts_by_type,
+    fault_injection_counts,
     filter_events,
     narrative,
     sedation_episodes,
@@ -54,6 +56,8 @@ __all__ = [
     "NullTelemetry",
     "TelemetrySession",
     "counts_by_type",
+    "FAULT_EVENT_TYPES",
+    "fault_injection_counts",
     "filter_events",
     "load_events",
     "narrative",

@@ -46,15 +46,27 @@ class EventType(str, enum.Enum):
     EWMA_SNAPSHOT = "ewma_snapshot"
     #: the pipeline fast-forwarded a provably idle stretch (value = span)
     IDLE_SKIP = "idle_skip"
+    #: an injected sensor fault corrupted a reading (repro.faults)
+    FAULT_SENSOR = "fault_sensor"
+    #: an injected sampler fault missed or deferred an EWMA tick
+    FAULT_SAMPLER = "fault_sampler"
+    #: an injected actuator fault dropped or delayed a sedate/release
+    FAULT_ACTUATOR = "fault_actuator"
+    #: the intermittent-attacker schedule toggled a thread on or off
+    ATTACKER_PHASE = "attacker_phase"
 
 
 #: Narrative event types — everything except the high-frequency samples.
 #: ``repro events --summary`` and the pinned sequence regression use this
-#: set so the story is not drowned in sensor traffic.
+#: set so the story is not drowned in sensor traffic.  Sensor/sampler fault
+#: events are per-reading/per-tick (dropout at rate 0.2 fires hundreds of
+#: times per quantum) so they are counted, not narrated; actuator faults and
+#: attacker phase flips are rare, load-bearing moments and stay in.
 NARRATIVE_TYPES = frozenset(
     t for t in EventType
     if t not in (EventType.SENSOR_SAMPLE, EventType.EWMA_SNAPSHOT,
-                 EventType.IDLE_SKIP)
+                 EventType.IDLE_SKIP, EventType.FAULT_SENSOR,
+                 EventType.FAULT_SAMPLER)
 )
 
 

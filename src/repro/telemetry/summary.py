@@ -47,6 +47,35 @@ def counts_by_type(events: Iterable[Event]) -> dict[str, int]:
     return dict(sorted(counts.items()))
 
 
+#: Event types produced by :mod:`repro.faults` injectors.
+FAULT_EVENT_TYPES = frozenset({
+    EventType.FAULT_SENSOR,
+    EventType.FAULT_SAMPLER,
+    EventType.FAULT_ACTUATOR,
+    EventType.ATTACKER_PHASE,
+})
+
+
+def fault_injection_counts(events: Iterable[Event]) -> dict[str, int]:
+    """Per-type counts of injected-fault events (empty for a clean run).
+
+    Sampler and actuator faults are split by kind/outcome (``miss`` vs
+    ``late``, ``dropped`` vs ``delayed``) since the distinction is the whole
+    point of those fault models.
+    """
+    counts: dict[str, int] = {}
+    for event in events:
+        if event.type not in FAULT_EVENT_TYPES:
+            continue
+        name = event.type.value
+        data = event.data or {}
+        qualifier = data.get("kind") or data.get("outcome")
+        if qualifier:
+            name = f"{name}.{qualifier}"
+        counts[name] = counts.get(name, 0) + 1
+    return dict(sorted(counts.items()))
+
+
 def sedation_episodes(events: Iterable[Event]) -> list[dict]:
     """SEDATE→RELEASE episodes, in sedation order.
 
@@ -116,6 +145,13 @@ def narrative(events: Iterable[Event]) -> list[str]:
             )
         elif event.type is EventType.STOPGO_ENGAGE and data.get("safety_net"):
             detail = "safety net"
+        elif event.type is EventType.FAULT_ACTUATOR:
+            detail = (
+                f"{data.get('action', '?')} {data.get('outcome', '?')} "
+                f"(thread {event.thread})"
+            )
+        elif event.type is EventType.ATTACKER_PHASE:
+            detail = f"thread {event.thread} {data.get('phase', '?')}"
         else:
             detail = ""
         lines.append(
@@ -151,6 +187,11 @@ def summarize(events: Iterable[Event]) -> str:
                 f"{block_name(episode['block'])}: {span}, sedated at "
                 f"{episode['sedate_temperature_k']:.2f}K{released}"
             )
+    injected = fault_injection_counts(events)
+    if injected:
+        lines.append("fault injection:")
+        for name, count in injected.items():
+            lines.append(f"  {name:<18} {count}")
     stalls = stall_episodes(events)
     if stalls:
         lines.append("global stalls:")

@@ -57,6 +57,13 @@ class SensorBank:
         self.emergencies_per_block = [0] * NUM_BLOCKS
         self.total_emergencies = 0
         self.peak_k = float(np.max(model.temperatures()))
+        #: optional :class:`repro.faults.injectors.SensorFaultInjector`; the
+        #: Simulator sets this when the config carries a sensor fault plan.
+        #: Faults corrupt the *reported* values after measurement noise but
+        #: before crossing detection, so a stuck or dropped sensor misleads
+        #: every downstream consumer (DTM policy, sedation FSM, telemetry)
+        #: exactly as real bad hardware would.
+        self.fault_injector = None
 
     def sample(self, cycle: int) -> SensorReading:
         """Read every sensor; record upward crossings of the emergency point."""
@@ -66,6 +73,8 @@ class SensorBank:
             noise = self.noise_k
             for block in range(NUM_BLOCKS):
                 temperatures[block] += gauss(0.0, noise)
+        if self.fault_injector is not None:
+            self.fault_injector.apply(cycle, temperatures)
         crossings: list[int] = []
         for block in range(NUM_BLOCKS):
             above = temperatures[block] >= self.emergency_k

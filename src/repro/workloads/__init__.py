@@ -9,6 +9,7 @@ from .malicious import (
     build_variant2,
     build_variant3,
     conflict_addresses,
+    intermittent_plan,
 )
 from .profiles import (
     DEFAULT_BENCH_SUBSET,
@@ -32,6 +33,7 @@ __all__ = [
     "DEFAULT_BENCH_SUBSET",
     "get_profile",
     "HOT_BENCHMARKS",
+    "intermittent_plan",
     "is_malicious",
     "make_source",
     "MALICIOUS_VARIANTS",

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from ..config import MachineConfig, ThermalConfig
 from ..errors import WorkloadError
+from ..faults.plan import AttackerFaultPlan
 from ..isa.assembler import assemble
 from ..isa.program import Program
 
@@ -233,6 +234,41 @@ def build_fp_flood(machine: MachineConfig, block_size: int = 48) -> Program:
     )
     lines.append("    br L1")
     return assemble("\n".join(lines), name="fp_flood")
+
+
+def intermittent_plan(
+    thermal: ThermalConfig,
+    on_seconds: float = 1.0e-3,
+    off_seconds: float = 3.0e-3,
+    start_on: bool = True,
+    threads: tuple[int, ...] | None = None,
+) -> AttackerFaultPlan:
+    """Duty-cycle schedule for an intermittent attacker, sized in real time.
+
+    iThermTroj-style evasion (arXiv:2507.05576): run the heat kernel just
+    long enough to push a resource toward the threshold (``on_seconds``,
+    about one hot-spot formation time), then go dark long enough for it to
+    drain below the release point (``off_seconds``, a few local time
+    constants), repeating forever.  The conversion through
+    :meth:`~repro.config.ThermalConfig.cycles_from_seconds` keeps the
+    schedule meaningful at any ``time_scale`` — the same call that sizes
+    the variants' burst phases above.
+
+    Returns an :class:`~repro.faults.plan.AttackerFaultPlan` ready to hang
+    on a :class:`~repro.faults.plan.FaultPlan`; ``threads=None`` targets
+    every thread running a registered malicious variant.
+    """
+    if on_seconds <= 0 or off_seconds <= 0:
+        raise WorkloadError("on/off durations must be positive")
+    on_cycles = thermal.cycles_from_seconds(on_seconds)
+    off_cycles = thermal.cycles_from_seconds(off_seconds)
+    period = on_cycles + off_cycles
+    return AttackerFaultPlan(
+        period_cycles=period,
+        on_fraction=on_cycles / period,
+        start_on=start_on,
+        threads=threads,
+    )
 
 
 MALICIOUS_VARIANTS = ("variant1", "variant2", "variant3", "fp_flood")

@@ -104,3 +104,28 @@ class TestCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "degradation" in out
+
+    def test_faults_command(self, capsys, tmp_path):
+        log = tmp_path / "faults.jsonl"
+        code = main([
+            "faults", "gzip", "variant2", "--time-scale", "20000",
+            "--quantum", "3000", "--sensor", "dropout", "--sensor-rate",
+            "0.2", "--miss-rate", "0.1", "--intermittent",
+            "--events", str(log),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "healthy ipc" in out and "faulted ipc" in out
+        assert "fault_sensor" in out
+        assert log.exists()
+        # The streamed log narrates the faults through `repro events`.
+        assert main(["events", str(log), "--summary"]) == 0
+        assert "fault injection:" in capsys.readouterr().out
+
+    def test_faults_command_requires_a_fault(self, capsys):
+        code = main([
+            "faults", "gzip", "variant2", "--time-scale", "20000",
+            "--quantum", "3000",
+        ])
+        assert code == 1
+        assert "no faults configured" in capsys.readouterr().err

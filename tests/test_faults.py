@@ -1,0 +1,342 @@
+"""Fault-injection subsystem: plans, injectors, and end-to-end determinism.
+
+The contract under test (docs/robustness.md): a ``FaultPlan`` is a pure,
+picklable description; injectors draw only from domain-salted private RNGs;
+the same plan + seed reproduces byte-identically; and every injection is
+observable through telemetry.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.blocks import INT_RF, NUM_BLOCKS
+from repro.config import scaled_config
+from repro.errors import ConfigError
+from repro.faults import (
+    ActuatorFaultPlan,
+    ActuatorInjector,
+    AttackerFaultPlan,
+    AttackerGate,
+    FaultPlan,
+    SamplerFaultInjector,
+    SamplerFaultPlan,
+    SensorFaultInjector,
+    SensorFaultPlan,
+    WorkerFaultPlan,
+    domain_rng,
+)
+from repro.sim import Simulator, run_workloads
+from repro.telemetry import (
+    EventType,
+    TelemetrySession,
+    fault_injection_counts,
+    summarize,
+)
+from repro.workloads import intermittent_plan
+
+
+def tiny_config(policy: str = "sedation", **kwargs):
+    kwargs.setdefault("time_scale", 20_000.0)
+    kwargs.setdefault("quantum_cycles", 6_000)
+    return scaled_config(**kwargs).with_policy(policy)
+
+
+class TestPlanValidation:
+    def test_unknown_sensor_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            SensorFaultPlan(mode="melted")
+
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ConfigError):
+            SensorFaultPlan(mode="dropout", rate=1.5)
+        with pytest.raises(ConfigError):
+            SamplerFaultPlan(miss_rate=-0.1)
+
+    def test_dropout_needs_rate(self):
+        with pytest.raises(ConfigError):
+            SensorFaultPlan(mode="dropout")
+
+    def test_burst_needs_rate_and_sigma(self):
+        with pytest.raises(ConfigError):
+            SensorFaultPlan(mode="burst_noise", rate=0.1)
+        with pytest.raises(ConfigError):
+            SensorFaultPlan(mode="burst_noise", burst_sigma_k=5.0)
+
+    def test_late_rate_needs_late_cycles(self):
+        with pytest.raises(ConfigError):
+            SamplerFaultPlan(late_rate=0.1)
+
+    def test_empty_domain_plans_rejected(self):
+        with pytest.raises(ConfigError):
+            SamplerFaultPlan()
+        with pytest.raises(ConfigError):
+            ActuatorFaultPlan()
+
+    def test_attacker_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            AttackerFaultPlan(on_fraction=0.0)
+        with pytest.raises(ConfigError):
+            AttackerFaultPlan(on_fraction=1.0)
+        assert AttackerFaultPlan(period_cycles=1000).on_cycles == 500
+
+    def test_worker_hang_needs_seconds(self):
+        with pytest.raises(ConfigError):
+            WorkerFaultPlan(hang_attempts=1)
+        with pytest.raises(ConfigError):
+            WorkerFaultPlan(crash_attempts=-1)
+
+    def test_any_runtime_faults_excludes_worker_chaos(self):
+        assert not FaultPlan().any_runtime_faults
+        assert not FaultPlan(worker=WorkerFaultPlan(fail_attempts=1)).any_runtime_faults
+        assert FaultPlan(sampler=SamplerFaultPlan(miss_rate=0.1)).any_runtime_faults
+
+    def test_plan_pickles_and_rides_the_fingerprint(self):
+        from repro.sim import RunSpec, spec_fingerprint
+
+        plan = FaultPlan(
+            seed=3,
+            sensor=SensorFaultPlan(mode="dropout", rate=0.2),
+            attacker=AttackerFaultPlan(),
+        )
+        assert pickle.loads(pickle.dumps(plan)) == plan
+        clean = RunSpec(("gcc", "swim"), tiny_config())
+        faulted = RunSpec(("gcc", "swim"), tiny_config().with_faults(plan))
+        assert spec_fingerprint(clean) != spec_fingerprint(faulted)
+
+
+class TestDomainRng:
+    def test_streams_are_domain_salted_and_stable(self):
+        a = domain_rng(7, "sensor")
+        b = domain_rng(7, "sensor")
+        c = domain_rng(7, "sampler")
+        first = [a.random() for _ in range(8)]
+        assert first == [b.random() for _ in range(8)]
+        assert first != [c.random() for _ in range(8)]
+
+
+class TestSensorInjector:
+    def make(self, plan, seed=0):
+        return SensorFaultInjector(plan, domain_rng(seed, "sensor"), NUM_BLOCKS)
+
+    def test_block_ids_validated(self):
+        with pytest.raises(ConfigError):
+            self.make(SensorFaultPlan(mode="stuck_at", blocks=(NUM_BLOCKS,)))
+
+    def test_stuck_at_freezes_first_reading(self):
+        injector = self.make(SensorFaultPlan(mode="stuck_at", blocks=(INT_RF,)))
+        temps = [300.0] * NUM_BLOCKS
+        temps[INT_RF] = 350.0
+        injector.apply(0, temps)
+        temps[INT_RF] = 999.0
+        injector.apply(50, temps)
+        assert temps[INT_RF] == 350.0
+        assert injector.faults_injected == 1  # onset event only
+
+    def test_stuck_at_pinned_value_and_start_cycle(self):
+        injector = self.make(
+            SensorFaultPlan(mode="stuck_at", stuck_k=400.0, start_cycle=100)
+        )
+        temps = [300.0] * NUM_BLOCKS
+        injector.apply(0, temps)
+        assert temps[0] == 300.0  # healthy before onset
+        injector.apply(100, temps)
+        assert all(t == 400.0 for t in temps)
+
+    def test_dropout_holds_last_reported(self):
+        injector = self.make(
+            SensorFaultPlan(mode="dropout", rate=1.0, start_cycle=25)
+        )
+        healthy = [300.0 + i for i in range(NUM_BLOCKS)]
+        injector.apply(0, healthy)  # pre-onset: recorded as last reported
+        later = [500.0] * NUM_BLOCKS
+        injector.apply(50, later)  # every reading drops from here on
+        assert later == healthy
+        assert injector.faults_injected == 1
+
+    def test_bias_drift_accumulates(self):
+        injector = self.make(
+            SensorFaultPlan(mode="bias_drift", bias_k_per_sample=1.0)
+        )
+        temps = [300.0] * NUM_BLOCKS
+        injector.apply(0, temps)
+        assert temps[0] == 301.0
+        temps = [300.0] * NUM_BLOCKS
+        injector.apply(50, temps)
+        assert temps[0] == 302.0
+
+    def test_burst_noise_perturbs_burst_len_readings(self):
+        injector = self.make(
+            SensorFaultPlan(
+                mode="burst_noise", rate=1.0, burst_sigma_k=5.0, burst_len=2
+            )
+        )
+        for cycle in (0, 50):
+            temps = [300.0] * NUM_BLOCKS
+            injector.apply(cycle, temps)
+            assert any(t != 300.0 for t in temps)
+
+
+class TestSamplerAndActuatorInjectors:
+    def test_sampler_verdicts(self):
+        always_miss = SamplerFaultInjector(
+            SamplerFaultPlan(miss_rate=1.0), domain_rng(0, "sampler")
+        )
+        assert always_miss.on_tick(0) == ("miss", 0)
+        always_late = SamplerFaultInjector(
+            SamplerFaultPlan(late_rate=1.0, late_cycles=40),
+            domain_rng(0, "sampler"),
+        )
+        assert always_late.on_tick(0) == ("ok", 40)
+        assert always_miss.missed == 1 and always_late.late == 1
+
+    def test_actuator_drop_swallows_command(self):
+        injector = ActuatorInjector(
+            ActuatorFaultPlan(fail_rate=1.0), domain_rng(0, "actuator")
+        )
+        fired = []
+        injector.submit(0, "sedate", 1, INT_RF, lambda: fired.append(1))
+        assert fired == [] and injector.dropped == 1
+
+    def test_actuator_delay_lands_on_drain(self):
+        injector = ActuatorInjector(
+            ActuatorFaultPlan(delay_cycles=100), domain_rng(0, "actuator")
+        )
+        fired = []
+        injector.submit(10, "sedate", 1, INT_RF, lambda: fired.append(1))
+        injector.drain(50)
+        assert fired == []
+        injector.drain(110)
+        assert fired == [1]
+
+    def test_actuator_clear_forgets_pending(self):
+        injector = ActuatorInjector(
+            ActuatorFaultPlan(delay_cycles=100), domain_rng(0, "actuator")
+        )
+        fired = []
+        injector.submit(0, "release", 0, None, lambda: fired.append(1))
+        injector.clear()
+        injector.drain(10_000)
+        assert fired == []
+
+
+class _CoreStub:
+    def __init__(self):
+        self.paused: dict[int, bool] = {}
+
+    def set_paused(self, tid, paused):
+        self.paused[tid] = paused
+
+
+class TestAttackerGate:
+    def test_schedule_and_toggles(self):
+        plan = AttackerFaultPlan(period_cycles=100, on_fraction=0.5)
+        gate = AttackerGate(plan, threads=(1,))
+        core = _CoreStub()
+        gate.bind(core)
+        assert gate.is_on(0) and not gate.is_on(50)
+        gate.on_boundary(0)
+        assert core.paused == {}  # already on; no edge
+        gate.on_boundary(60)
+        assert core.paused == {1: True}
+        gate.on_boundary(110)
+        assert core.paused == {1: False}
+        assert gate.transitions == 2
+
+    def test_start_off_inverts_phase(self):
+        plan = AttackerFaultPlan(period_cycles=100, start_on=False)
+        gate = AttackerGate(plan, threads=(1,))
+        assert not gate.is_on(0) and gate.is_on(60)
+
+    def test_intermittent_plan_sizing(self):
+        thermal = tiny_config().thermal
+        plan = intermittent_plan(thermal, on_seconds=1e-3, off_seconds=3e-3)
+        assert plan.period_cycles == thermal.cycles_from_seconds(4e-3)
+        assert plan.on_cycles == pytest.approx(
+            thermal.cycles_from_seconds(1e-3), abs=1
+        )
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            intermittent_plan(thermal, on_seconds=0.0)
+
+
+class TestEndToEnd:
+    def full_plan(self, config):
+        return FaultPlan(
+            seed=5,
+            sensor=SensorFaultPlan(mode="dropout", rate=0.2),
+            sampler=SamplerFaultPlan(miss_rate=0.15, late_rate=0.1,
+                                     late_cycles=120),
+            actuator=ActuatorFaultPlan(fail_rate=0.3, delay_cycles=60),
+            attacker=intermittent_plan(config.thermal),
+        )
+
+    def test_same_plan_reproduces_byte_identically(self):
+        config = tiny_config()
+        faulted = config.with_faults(self.full_plan(config))
+        first = run_workloads(faulted, ["gzip", "variant2"])
+        second = run_workloads(faulted, ["gzip", "variant2"])
+        assert first == second
+
+    def test_faults_change_the_outcome(self):
+        config = tiny_config()
+        clean = run_workloads(config, ["gzip", "variant2"])
+        faulted = run_workloads(
+            config.with_faults(self.full_plan(config)), ["gzip", "variant2"]
+        )
+        assert clean != faulted
+
+    def test_clean_config_builds_no_controller(self):
+        sim = Simulator(tiny_config(), workloads=["gzip", "variant2"])
+        assert sim.faults is None
+        worker_only = tiny_config().with_faults(
+            FaultPlan(worker=WorkerFaultPlan(fail_attempts=1))
+        )
+        assert Simulator(worker_only, workloads=["gzip", "variant2"]).faults is None
+
+    def test_injected_summary_counts(self):
+        config = tiny_config()
+        sim = Simulator(
+            config.with_faults(self.full_plan(config)),
+            workloads=["gzip", "variant2"],
+        )
+        sim.run()
+        summary = sim.faults.injected_summary()
+        assert summary["sensor"] > 0
+        assert summary["sampler_missed"] > 0
+        assert summary["attacker_transitions"] > 0
+
+    def test_fault_events_reach_telemetry_and_summary(self):
+        config = tiny_config()
+        session = TelemetrySession()
+        sim = Simulator(
+            config.with_faults(self.full_plan(config)),
+            workloads=["gzip", "variant2"],
+            telemetry=session,
+        )
+        sim.run()
+        events = session.bus.events()
+        counts = fault_injection_counts(events)
+        assert counts.get("fault_sensor", 0) > 0
+        assert counts.get("fault_sampler.miss", 0) > 0
+        assert any(e.type is EventType.ATTACKER_PHASE for e in events)
+        assert "fault injection:" in summarize(events)
+
+    def test_attacker_gate_pauses_fetch(self):
+        config = tiny_config()
+        # Off virtually the whole quantum: the attacker commits almost nothing.
+        # start_on=False inverts the schedule: the on-window (99% of a
+        # 2-quantum period) becomes the off-phase, spanning the whole run.
+        plan = FaultPlan(
+            attacker=AttackerFaultPlan(
+                period_cycles=config.quantum_cycles * 2,
+                on_fraction=0.99,
+                start_on=False,
+            )
+        )
+        running = run_workloads(config, ["gzip", "variant2"])
+        paused = run_workloads(config.with_faults(plan), ["gzip", "variant2"])
+        assert paused.threads[1].committed < running.threads[1].committed * 0.2

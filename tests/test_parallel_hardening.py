@@ -1,0 +1,207 @@
+"""Hardened batch runner: retries, timeouts, crash recovery, quarantine.
+
+Worker chaos is injected through :class:`~repro.faults.plan.WorkerFaultPlan`
+on the spec's own config — deterministic per attempt number, so every
+failure shape here (crash → pool break → serial fallback, hang → timeout,
+transient → retry-then-succeed) reproduces identically at any job count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.config import scaled_config
+from repro.errors import SimulationError
+from repro.faults import FaultPlan, SensorFaultPlan, WorkerFaultPlan
+from repro.sim import RunFailure, RunResult, RunSpec, run_many, spec_fingerprint
+from repro.sim.parallel import (
+    RUNNER_METRICS,
+    _backoff_seconds,
+    _sweep_stale_tmp,
+)
+
+
+def tiny_config(policy: str = "stop_and_go", **kwargs):
+    kwargs.setdefault("time_scale", 20_000.0)
+    kwargs.setdefault("quantum_cycles", 3_000)
+    return scaled_config(**kwargs).with_policy(policy)
+
+
+def chaos_spec(workloads, **worker_kwargs):
+    config = tiny_config().with_faults(
+        FaultPlan(worker=WorkerFaultPlan(**worker_kwargs))
+    )
+    return RunSpec(tuple(workloads), config)
+
+
+class TestValidation:
+    def test_bad_knobs_rejected(self):
+        spec = RunSpec(("gcc", "swim"), tiny_config())
+        with pytest.raises(SimulationError):
+            run_many([spec], retries=-1, cache=False)
+        with pytest.raises(SimulationError):
+            run_many([spec], timeout=0.0, cache=False)
+
+    def test_backoff_is_deterministic_and_grows(self):
+        assert _backoff_seconds("abc", 1) == _backoff_seconds("abc", 1)
+        assert _backoff_seconds("abc", 2) > _backoff_seconds("abc", 1)
+        assert _backoff_seconds("abc", 1) != _backoff_seconds("abd", 1)
+
+
+class TestRetryAndTimeout:
+    def test_transient_failure_retries_then_succeeds(self):
+        spec = chaos_spec(("gcc", "swim"), fail_attempts=1)
+        before = RUNNER_METRICS.counters.get("runner.retries", 0)
+        result = run_many([spec], jobs=1, cache=False, retries=1)[0]
+        assert isinstance(result, RunResult) and result.cycles > 0
+        assert RUNNER_METRICS.counters["runner.retries"] == before + 1
+
+    def test_retries_exhausted_raises_by_default(self):
+        spec = chaos_spec(("gcc", "swim"), fail_attempts=5)
+        with pytest.raises(SimulationError, match="failed"):
+            run_many([spec], jobs=1, cache=False, retries=1)
+
+    def test_hung_spec_times_out_serially(self):
+        spec = chaos_spec(("gcc", "swim"), hang_attempts=5, hang_seconds=5.0)
+        failure = run_many(
+            [spec], jobs=1, cache=False, timeout=0.2, raise_on_error=False
+        )[0]
+        assert isinstance(failure, RunFailure)
+        assert failure.kind == "timeout"
+        assert failure.attempts == 1
+        assert not failure.ok
+
+    def test_hung_spec_times_out_in_pool_without_stalling_others(self):
+        hang = chaos_spec(("gcc", "swim"), hang_attempts=5, hang_seconds=30.0)
+        good = RunSpec(("gzip", "mcf"), tiny_config())
+        results = run_many(
+            [hang, good], jobs=2, cache=False, timeout=2.0,
+            raise_on_error=False,
+        )
+        assert isinstance(results[0], RunFailure)
+        assert results[0].kind == "timeout"
+        assert isinstance(results[1], RunResult)
+
+
+class TestCrashRecovery:
+    def test_worker_crash_falls_back_to_serial(self):
+        crash = chaos_spec(("gcc", "swim"), crash_attempts=10)
+        good = RunSpec(("gzip", "mcf"), tiny_config())
+        before = RUNNER_METRICS.counters.get("runner.pool_breaks", 0)
+        results = run_many(
+            [crash, good], jobs=2, cache=False, raise_on_error=False
+        )
+        assert RUNNER_METRICS.counters["runner.pool_breaks"] > before
+        # The poisoned spec fails (in-process the crash raises FaultError);
+        # every other spec still gets its result.
+        assert isinstance(results[0], RunFailure)
+        assert results[1] == run_many([good], jobs=1, cache=False)[0]
+
+    def test_crash_then_recover_on_retry(self):
+        crash_once = chaos_spec(("gcc", "swim"), crash_attempts=1)
+        good = RunSpec(("gzip", "mcf"), tiny_config())
+        results = run_many([crash_once, good], jobs=2, cache=False, retries=1)
+        assert all(isinstance(r, RunResult) for r in results)
+
+
+class TestPartialResults:
+    def test_failure_slots_are_index_aligned(self):
+        good_a = RunSpec(("gcc", "swim"), tiny_config())
+        bad = chaos_spec(("gzip", "mcf"), fail_attempts=5)
+        good_b = RunSpec(("vpr", "art"), tiny_config())
+        results = run_many(
+            [good_a, bad, good_b], jobs=1, cache=False, raise_on_error=False
+        )
+        assert isinstance(results[0], RunResult)
+        assert isinstance(results[1], RunFailure)
+        assert results[1].workloads == ("gzip", "mcf")
+        assert results[1].fingerprint == spec_fingerprint(bad)
+        assert isinstance(results[2], RunResult)
+
+    def test_raise_names_the_failed_specs(self):
+        bad = chaos_spec(("gzip", "mcf"), fail_attempts=5)
+        with pytest.raises(SimulationError, match=r"gzip\+mcf.*error"):
+            run_many([bad], jobs=1, cache=False)
+
+    def test_failures_are_never_cached(self, tmp_path):
+        bad = chaos_spec(("gzip", "mcf"), fail_attempts=5)
+        run_many([bad], jobs=1, cache_dir=tmp_path, raise_on_error=False)
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestCacheHygiene:
+    def test_corrupt_entry_is_quarantined_and_rerun(self, tmp_path):
+        spec = RunSpec(("gcc", "swim"), tiny_config())
+        key = spec_fingerprint(spec)
+        (tmp_path / f"{key}.json").write_text("{not json")
+        before = RUNNER_METRICS.counters.get("cache.quarantined.unreadable", 0)
+        result = run_many([spec], jobs=1, cache_dir=tmp_path)[0]
+        assert result.cycles > 0
+        quarantined = tmp_path / "quarantine" / f"{key}.json"
+        assert quarantined.read_text() == "{not json"
+        assert (
+            RUNNER_METRICS.counters["cache.quarantined.unreadable"]
+            == before + 1
+        )
+        # The re-run published a fresh, loadable entry in the old slot.
+        assert run_many([spec], jobs=1, cache_dir=tmp_path)[0] == result
+
+    def test_fingerprint_mismatch_is_quarantined(self, tmp_path):
+        spec = RunSpec(("gcc", "swim"), tiny_config())
+        run_many([spec], jobs=1, cache_dir=tmp_path)
+        key = spec_fingerprint(spec)
+        entry = tmp_path / f"{key}.json"
+        payload = json.loads(entry.read_text())
+        payload["fingerprint"] = "0" * 64
+        entry.write_text(json.dumps(payload))
+        run_many([spec], jobs=1, cache_dir=tmp_path)
+        assert (tmp_path / "quarantine" / f"{key}.json").exists()
+
+    def test_bad_shape_is_quarantined(self, tmp_path):
+        spec = RunSpec(("gcc", "swim"), tiny_config())
+        key = spec_fingerprint(spec)
+        (tmp_path / f"{key}.json").write_text(
+            json.dumps({"fingerprint": key, "kind": "run", "result": {}})
+        )
+        before = RUNNER_METRICS.counters.get("cache.quarantined.bad_shape", 0)
+        run_many([spec], jobs=1, cache_dir=tmp_path)
+        assert (
+            RUNNER_METRICS.counters["cache.quarantined.bad_shape"]
+            == before + 1
+        )
+
+    def test_stale_tmp_swept_live_tmp_kept(self, tmp_path):
+        dead = tmp_path / "aaaa.json.999999.tmp"
+        dead.write_text("partial")
+        live = tmp_path / f"bbbb.json.{os.getpid()}.tmp"
+        live.write_text("in flight")
+        unparsable = tmp_path / "cccc.json.notapid.tmp"
+        unparsable.write_text("?")
+        assert _sweep_stale_tmp(tmp_path) == 1
+        assert not dead.exists()
+        assert live.exists() and unparsable.exists()
+
+
+class TestFaultedRunsThroughTheRunner:
+    def faulted_spec(self):
+        config = tiny_config("sedation").with_faults(
+            FaultPlan(seed=9, sensor=SensorFaultPlan(mode="dropout", rate=0.2))
+        )
+        return RunSpec(("gzip", "variant2"), config)
+
+    def test_cold_warm_and_parallel_byte_identity(self, tmp_path):
+        spec = self.faulted_spec()
+        cold = run_many([spec], jobs=1, cache_dir=tmp_path)[0]
+        warm = run_many([spec], jobs=1, cache_dir=tmp_path)[0]
+        parallel = run_many([spec, spec], jobs=2, cache=False)
+        assert cold == warm == parallel[0] == parallel[1]
+
+    def test_fault_plan_separates_cache_entries(self, tmp_path):
+        clean = RunSpec(("gzip", "variant2"), tiny_config("sedation"))
+        faulted = self.faulted_spec()
+        results = run_many([clean, faulted], jobs=1, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        assert results[0] != results[1]

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Chaos smoke: drive the hardened batch runner through every failure shape.
+
+One tiny campaign mixes healthy specs with a crashing spec, a hanging spec,
+and a flaky-then-ok spec (all injected via
+:class:`repro.faults.plan.WorkerFaultPlan`), runs it with
+``raise_on_error=False`` against a cache pre-seeded with one corrupt entry,
+and asserts the robustness contract of docs/robustness.md:
+
+* failures are *reported* (index-aligned :class:`RunFailure` records with
+  the right kinds), never raised;
+* every healthy spec still returns its result — byte-identical to a clean
+  serial run;
+* the corrupt cache entry is quarantined, not silently overwritten;
+* the flaky spec succeeds on retry.
+
+Exit status 0 = contract holds.  Runs in a few seconds; CI executes it on
+every push (the ``chaos`` job), and it is equally useful locally:
+
+    python tools/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import scaled_config  # noqa: E402
+from repro.faults import FaultPlan, WorkerFaultPlan  # noqa: E402
+from repro.sim import RunFailure, RunSpec, run_many  # noqa: E402
+from repro.sim.parallel import RUNNER_METRICS, spec_fingerprint  # noqa: E402
+
+
+def main() -> int:
+    config = scaled_config(time_scale=20_000.0, quantum_cycles=3_000)
+
+    def chaos(workloads, **worker):
+        return RunSpec(
+            tuple(workloads),
+            config.with_faults(FaultPlan(worker=WorkerFaultPlan(**worker))),
+        )
+
+    healthy_a = RunSpec(("gcc", "swim"), config)
+    crash = chaos(("gzip", "mcf"), crash_attempts=10)
+    hang = chaos(("vpr", "art"), hang_attempts=10, hang_seconds=30.0)
+    flaky = chaos(("twolf", "lucas"), fail_attempts=1)
+    healthy_b = RunSpec(("eon", "apsi"), config)
+    batch = [healthy_a, crash, hang, flaky, healthy_b]
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = Path(cache_dir)
+        # Pre-seed one corrupt entry where healthy_a's result would land.
+        corrupt_key = spec_fingerprint(healthy_a)
+        (cache / f"{corrupt_key}.json").write_text("{not json")
+
+        results = run_many(
+            batch,
+            jobs=2,
+            cache_dir=cache,
+            timeout=3.0,
+            retries=1,
+            raise_on_error=False,
+        )
+
+        failures = {i: r for i, r in enumerate(results)
+                    if isinstance(r, RunFailure)}
+        checks = [
+            ("failed specs are exactly the crash and the hang",
+             sorted(failures) == [1, 2]),
+            ("crash reported, not raised",
+             failures[1].kind in ("crash", "error") and not failures[1].ok),
+            ("hang reported as a timeout", failures[2].kind == "timeout"),
+            ("flaky spec recovered on retry",
+             not isinstance(results[3], RunFailure)),
+            ("every healthy spec returned a result",
+             not isinstance(results[0], RunFailure)
+             and not isinstance(results[4], RunFailure)),
+            ("healthy results byte-identical to a clean serial run",
+             results[0] == run_many([healthy_a], jobs=1, cache=False)[0]
+             and results[4] == run_many([healthy_b], jobs=1, cache=False)[0]),
+            ("corrupt entry quarantined, evidence preserved",
+             (cache / "quarantine" / f"{corrupt_key}.json").read_text()
+             == "{not json"),
+            ("pool break recovered serially",
+             RUNNER_METRICS.counters.get("runner.pool_breaks", 0) >= 1),
+            ("retry accounted",
+             RUNNER_METRICS.counters.get("runner.retries", 0) >= 1),
+        ]
+
+    width = max(len(label) for label, _ in checks)
+    failed = 0
+    for label, ok in checks:
+        print(f"  {label:<{width}}  {'ok' if ok else 'FAIL'}")
+        failed += 0 if ok else 1
+    interesting = {
+        name: value
+        for name, value in sorted(RUNNER_METRICS.counters.items())
+        if name.startswith(("runner.", "cache."))
+    }
+    print(f"runner metrics: {interesting}")
+    if failed:
+        print(f"chaos smoke: {failed} check(s) FAILED", file=sys.stderr)
+        return 1
+    print("chaos smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

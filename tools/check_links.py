@@ -38,6 +38,7 @@ DEFAULT_FILES = (
     "docs/cli.md",
     "docs/paper_map.md",
     "docs/linting.md",
+    "docs/robustness.md",
 )
 
 # Inline links; [text](target "title") and [text](target).  Images share
