@@ -1,0 +1,167 @@
+"""Lock-step batch kernel speedup: scalar sweep vs ``repro.sim.batch``.
+
+Not a paper figure — the perf trajectory of the simulator itself.  The
+workload is the §5.7 sweep shape: SPEC pairs, each swept across every DTM
+policy and a ladder of sedation-threshold/EWMA variants.  All lanes of one
+pair share workloads/machine/seed, differ only in thermal-management knobs,
+and stay quiet (no DTM engagement), which is exactly the shape the
+lock-step engine amortizes: one shared pipeline per pair, one shared
+thermal trajectory per thermal-config group.
+
+For each batch width ``B`` the same cold-cache spec list runs twice through
+:func:`repro.sim.run_many` on one core — ``batch=False`` (scalar tier) and
+``batch=True`` (lock-step tier) — and the wall-clock ratio is recorded to
+``benchmarks/results/BENCH_batch.json``.  A compact summary also lands in
+``BENCH_throughput.json`` so the throughput history tracks the batch tier.
+
+``REPRO_BATCH_BENCH_TINY=1`` shrinks the grid (B=4, short horizon) for the
+CI perf-smoke step; the acceptance threshold (≥5× at B≥32) only applies to
+the full run.
+
+Run directly (``python benchmarks/perf_batch.py``) or via pytest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.config import scaled_config
+from repro.sim import RunSpec, run_many
+from repro.sim.results import result_to_dict
+
+TINY = os.environ.get("REPRO_BATCH_BENCH_TINY") == "1"
+
+SCALE = 20_000.0 if TINY else 4000.0
+QUANTUM = 6_000 if TINY else 60_000
+BATCH_SIZES = (1, 4) if TINY else (1, 8, 32, 64)
+PAIRS = (("gcc", "swim"), ("gzip", "mcf"))
+POLICIES = ("ideal", "stop_and_go", "dvfs", "ttdfs", "fetch_gating", "sedation")
+
+#: Required speedup at the widest batch (cold cache, one core); the
+#: tiny/CI grid is too small to amortize and is exempt.
+REQUIRED_SPEEDUP = 5.0
+REQUIRED_AT_B = 32
+
+
+def lane_specs(pair: tuple[str, str], lanes: int) -> list[RunSpec]:
+    """``lanes`` distinct quiet sweep points for one SPEC pair.
+
+    Lane ``i`` takes policy ``i mod 6`` and ladder step ``i // 6``: the
+    ladder raises the sedation upper threshold (never lowers — the lanes
+    must stay quiet) and alternates the EWMA shift, so every spec has a
+    distinct cache fingerprint while every lane shares the pair's batch
+    fingerprint and thermal network.
+    """
+    base = scaled_config(time_scale=SCALE, quantum_cycles=QUANTUM)
+    specs = []
+    for lane in range(lanes):
+        config = base.with_policy(POLICIES[lane % len(POLICIES)])
+        step = lane // len(POLICIES)
+        if step:
+            sedation = dataclasses.replace(
+                config.sedation,
+                upper_threshold_k=config.sedation.upper_threshold_k
+                + 0.01 * step,
+                ewma_shift=(config.sedation.ewma_shift + step) % 8,
+            )
+            config = dataclasses.replace(config, sedation=sedation)
+        specs.append(RunSpec(workloads=pair, config=config))
+    return specs
+
+
+def canonical(result) -> str:
+    payload = result_to_dict(result)
+    payload["perf"]["wall_seconds"] = 0.0
+    return json.dumps(payload, sort_keys=True)
+
+
+def measure(lanes: int) -> dict:
+    """Cold-cache wall time of one sweep, scalar tier vs lock-step tier."""
+    specs = [spec for pair in PAIRS for spec in lane_specs(pair, lanes)]
+    start = time.perf_counter()
+    scalar = run_many(specs, jobs=1, cache=False, batch=False)
+    scalar_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    batched = run_many(specs, jobs=1, cache=False, batch=True)
+    batch_wall = time.perf_counter() - start
+    identical = all(
+        canonical(a) == canonical(b)
+        for a, b in zip(batched, scalar, strict=True)
+    )
+    return {
+        "batch_width": lanes,
+        "specs": len(specs),
+        "simulated_cycles": sum(r.cycles for r in scalar),
+        "scalar_wall_seconds": round(scalar_wall, 4),
+        "batch_wall_seconds": round(batch_wall, 4),
+        "speedup": round(scalar_wall / batch_wall, 2),
+        "byte_identical": identical,
+    }
+
+
+def run() -> dict:
+    payload = {
+        "time_scale": SCALE,
+        "quantum_cycles": QUANTUM,
+        "tiny": TINY,
+        "pairs": ["+".join(pair) for pair in PAIRS],
+        "policies": list(POLICIES),
+        "rows": [measure(lanes) for lanes in BATCH_SIZES],
+    }
+    results = Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "BENCH_batch.json").write_text(json.dumps(payload, indent=1))
+    _record_in_throughput(results, payload)
+    return payload
+
+
+def _record_in_throughput(results: Path, payload: dict) -> None:
+    """Fold the widest row's speedup into the throughput history file."""
+    if payload["tiny"]:
+        return  # CI smoke numbers would pollute the history
+    path = results / "BENCH_throughput.json"
+    try:
+        history = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return
+    widest = payload["rows"][-1]
+    history["batch_kernel"] = {
+        "batch_width": widest["batch_width"],
+        "scalar_wall_seconds": widest["scalar_wall_seconds"],
+        "batch_wall_seconds": widest["batch_wall_seconds"],
+        "speedup": widest["speedup"],
+    }
+    path.write_text(json.dumps(history, indent=1))
+
+
+def test_perf_batch():
+    payload = run()
+    for row in payload["rows"]:
+        print(
+            f"B={row['batch_width']:3d} ({row['specs']} specs): "
+            f"scalar {row['scalar_wall_seconds']:.2f}s, "
+            f"batch {row['batch_wall_seconds']:.2f}s "
+            f"-> {row['speedup']:.2f}x"
+        )
+        assert row["byte_identical"], "batch tier diverged from scalar"
+        assert row["batch_wall_seconds"] > 0
+    if not payload["tiny"]:
+        widest = [
+            row
+            for row in payload["rows"]
+            if row["batch_width"] >= REQUIRED_AT_B
+        ]
+        assert widest, "full grid must include the acceptance width"
+        best = max(row["speedup"] for row in widest)
+        assert best >= REQUIRED_SPEEDUP, (
+            f"batch kernel speedup {best:.2f}x below the "
+            f"{REQUIRED_SPEEDUP:.0f}x acceptance bar at B>={REQUIRED_AT_B}"
+        )
+
+
+if __name__ == "__main__":
+    print(json.dumps(run(), indent=1))

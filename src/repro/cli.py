@@ -170,7 +170,9 @@ def cmd_workloads(args) -> int:
 
 def cmd_attack(args) -> int:
     config = _config(args)
-    runner = ExperimentRunner(config, jobs=args.jobs, cache_dir=args.cache_dir)
+    runner = ExperimentRunner(
+        config, jobs=args.jobs, cache_dir=args.cache_dir, batch=args.batch
+    )
     solo = runner.solo(args.victim, policy="stop_and_go")
     attacked = runner.pair(args.victim, args.variant, policy="stop_and_go")
     defended = runner.pair(args.victim, args.variant, policy="sedation")
@@ -369,6 +371,10 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=MALICIOUS_VARIANTS)
     attack.add_argument("--jobs", type=int, default=None,
                         help="worker processes for independent runs")
+    attack.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="lock-step batch tier for uncached runs "
+                             "(--no-batch forces the scalar path)")
     attack.add_argument("--cache-dir", default=None,
                         help="on-disk result cache (e.g. .repro_cache)")
     _add_common(attack)

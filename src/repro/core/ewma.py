@@ -17,6 +17,8 @@ bound the fixed-point error.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import ConfigError
 
 
@@ -61,6 +63,51 @@ class Ewma:
     def window_samples(self) -> int:
         """Effective memory, in samples (the paper's '1000 sample points')."""
         return 1 << self.shift
+
+
+class EwmaBank:
+    """A whole array of :class:`Ewma` registers updated in one step.
+
+    The batch engine (:mod:`repro.sim.batch`) tracks one EWMA per
+    ``(lane, thread, block)`` triple; updating them one object at a time
+    would dominate the vectorized sample loop.  The bank stores the values
+    as one ndarray and applies the *identical* float expression
+    ``value + (sample - value) * x`` elementwise, so every element is
+    bit-equal to the scalar :class:`Ewma` fed the same samples.
+
+    ``shifts`` may be a scalar or any array broadcastable against ``shape``
+    (e.g. ``(B, 1, 1)`` for per-lane blend factors); ``x = 2**-shift`` is
+    computed with ``ldexp`` so it is the exact power of two ``Ewma`` uses.
+    """
+
+    __slots__ = ("x", "values", "samples", "missed")
+
+    def __init__(
+        self, shifts: int | np.ndarray, shape: tuple[int, ...]
+    ) -> None:
+        shift_arr = np.asarray(shifts, dtype=np.int64)
+        if np.any((shift_arr < 0) | (shift_arr > 30)):
+            raise ConfigError("EWMA shift out of range [0, 30]")
+        self.x = np.ldexp(1.0, -shift_arr)
+        self.values = np.zeros(shape)
+        self.samples = 0
+        self.missed = 0
+
+    def update(self, samples: np.ndarray) -> np.ndarray:
+        """Blend one broadcastable sample array into every register."""
+        self.values = self.values + (samples - self.values) * self.x
+        self.samples += 1
+        return self.values
+
+    def miss(self) -> np.ndarray:
+        """Record one missed tick bank-wide; no register is clocked."""
+        self.missed += 1
+        return self.values
+
+    def reset(self) -> None:
+        self.values = np.zeros_like(self.values)
+        self.samples = 0
+        self.missed = 0
 
 
 class FixedPointEwma:

@@ -16,10 +16,12 @@ Two paper-mandated behaviors:
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..blocks import NUM_BLOCKS
 from ..config import SedationConfig
 from ..pipeline.smt import SMTCore
-from .ewma import Ewma
+from .ewma import Ewma, EwmaBank
 
 
 class UsageMonitor:
@@ -100,6 +102,10 @@ class UsageMonitor:
         """EWMA of every thread at one resource, indexed by thread id."""
         return [values[block] for values in self._values]
 
+    def averages_matrix(self) -> list[list[float]]:
+        """All EWMA values as ``[thread][block]`` (equivalence tests)."""
+        return [list(values) for values in self._values]
+
     def flat_average(self, tid: int, block: int) -> float:
         """Cumulative accesses / cycles — the metric Figure 3 plots.
 
@@ -112,3 +118,51 @@ class UsageMonitor:
         if cycles == 0:
             return 0.0
         return self.core.access_counts[tid][block] / cycles
+
+
+class BatchUsageMonitor:
+    """EWMA access-rate monitoring for ``B`` lock-step lanes of one core.
+
+    The batch engine (:mod:`repro.sim.batch`) shares a single pipeline
+    across lanes whose configs differ only in thermal/DTM knobs, so every
+    lane sees the same access counters and the same sampling grid; only the
+    blend factor may differ per lane (``ewma_shift`` is a sedation knob).
+    One :class:`~repro.core.ewma.EwmaBank` of shape
+    ``(lanes, threads, blocks)`` replaces ``lanes`` scalar monitors, and the
+    shared interval rates are computed once — the same
+    ``(count - last) / interval`` integer-exact division the scalar monitor
+    performs, so every lane's values stay bit-equal to its scalar run.
+
+    No lane that stays in a batch ever sedates a thread (such lanes are
+    ejected to the scalar simulator first), so the scalar monitor's
+    frozen-snapshot branch for sedated threads has no vector counterpart.
+    """
+
+    def __init__(self, core: SMTCore, ewma_shifts: list[int]) -> None:
+        self.core = core
+        lanes = len(ewma_shifts)
+        threads = len(core.threads)
+        shifts = np.asarray(ewma_shifts, dtype=np.int64).reshape(lanes, 1, 1)
+        self.bank = EwmaBank(shifts, (lanes, threads, NUM_BLOCKS))
+        self._last_counts = np.asarray(core.access_counts, dtype=np.int64)
+        self._last_cycle = core.cycle
+        self.samples_taken = 0
+
+    def sample(self) -> None:
+        """Fold one shared interval's rates into every lane's EWMA bank."""
+        cycle = self.core.cycle
+        interval = cycle - self._last_cycle
+        if interval <= 0:
+            return
+        counts = np.asarray(self.core.access_counts, dtype=np.int64)
+        # Integer-exact numerator over an integer interval: float64 true
+        # division of the same operands the scalar monitor divides.
+        rates = (counts - self._last_counts) / interval
+        self.bank.update(rates[np.newaxis, :, :])
+        self._last_counts = counts
+        self._last_cycle = cycle
+        self.samples_taken += 1
+
+    def lane_values(self, lane: int) -> np.ndarray:
+        """One lane's ``(threads, blocks)`` EWMA matrix (tests/diagnostics)."""
+        return self.bank.values[lane].copy()

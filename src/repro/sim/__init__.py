@@ -1,5 +1,6 @@
 """Simulation driver: co-simulator, experiment harness, and statistics."""
 
+from .batch import batch_fingerprint, simulate_lockstep
 from .campaign import CampaignResult, QuantumRecord, run_campaign
 from .experiment import ExperimentRunner
 from .parallel import (
@@ -21,10 +22,12 @@ __all__ = [
     "RunFailure",
     "RunResult",
     "RunSpec",
+    "batch_fingerprint",
     "run_many",
     "run_workloads",
     "QuantumRecord",
     "run_campaign",
+    "simulate_lockstep",
     "spec_fingerprint",
     "Simulator",
     "ThreadStats",

@@ -1,0 +1,394 @@
+"""Lock-step batch execution: many config-variant runs on one pipeline.
+
+Every figure in the paper is a *sweep* — dozens of runs that differ only in
+thermal or DTM knobs while sharing the same workloads, machine, and seed.
+The pipeline is a pure function of exactly those shared inputs, so until a
+lane's DTM policy intervenes, all lanes of such a sweep execute *the same
+cycle-by-cycle pipeline trajectory*.  This engine exploits that: it runs
+**one** SMT core on behalf of ``B`` lanes and carries everything that can
+differ per lane — thermal network state, sensor crossing counters, peak
+temperatures, EWMA banks, noise streams — as structure-of-arrays NumPy
+state advanced in lock step at the shared sample/sensor boundaries.
+
+The contract is the fast path's: results **byte-identical** to the scalar
+:class:`~repro.sim.simulator.Simulator` (same RunResult JSON, same cache
+keys; telemetry/trace runs are not batchable in the first place, so their
+episode derivation is untouched).  Exactness is by construction:
+
+* lanes share one pipeline, so every counter-derived statistic (committed,
+  fetched, access counts, idle fast-forward) is literally the scalar value;
+* lanes with identical RC-relevant thermal configs share one *network
+  group* whose packed state advances with the very expression
+  ``E(dt) @ state + F(dt) @ source`` the scalar model applies — same
+  cached propagators, same float operations, same bits;
+* EWMA updates and threshold-crossing detection are elementwise float
+  comparisons with the scalar expressions, which are IEEE-identical
+  whether applied to one value or an array.
+
+**Divergence.**  The moment a lane's policy *would* take any action the
+scalar simulator could observe — a stop-and-go/DVFS/fetch-gating engage at
+the emergency point, a TTDFS slowdown step above its tracking threshold, a
+sedation (upper threshold crossed with ≥ 2 candidate threads) or its
+safety net — that lane is **ejected** from the batch and deferred to the
+scalar simulator, which re-runs it from cycle 0.  Ejection triggers are
+evaluated on the lane's own reported (noise-included) temperatures at the
+same sensor boundary the scalar policy would have acted on, so lanes that
+*stay* batched are exactly the runs whose policies never fire — the
+SPEC-pair sweeps of §5.5–§5.7, solo runs, and the quiet arms of every
+threshold sweep.  Attack lanes eject at their first trigger; correctness
+is preserved and the batch still amortizes the shared prefix of the quiet
+lanes.
+
+:func:`~repro.sim.parallel.run_many` uses this as its middle execution
+tier: cache hit → lock-step batch groups (grouped by
+:func:`batch_fingerprint`) → process pool / serial scalar fallback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+import time
+
+import numpy as np
+
+from ..blocks import NUM_BLOCKS
+from ..config import SimulationConfig
+from ..core.usage import BatchUsageMonitor
+from ..errors import SimulationError
+from ..perf import PerfCounters
+from ..power import EnergyModel, PowerAccountant
+from ..thermal import RCThermalModel
+from ..thermal.sensors import BatchCrossingDetector
+from .simulator import build_pipeline
+from .stats import RunResult, ThreadStats
+
+#: Batch-compatibility key schema.  Bump when the set of lane-shared inputs
+#: changes (a new config field that influences the shared pipeline must be
+#: added to the fingerprint payload, and vice versa).
+BATCH_SCHEMA = 1
+
+#: Sentinel threshold for "this lane never ejects" (ideal policy).
+_NEVER = float("inf")
+
+
+def batch_fingerprint(spec) -> str | None:
+    """Batch-compatibility key for one spec; ``None`` = not batchable.
+
+    Specs with equal keys may share one lock-step pipeline: everything that
+    influences cycle-by-cycle pipeline behavior or the event grid must be
+    equal across lanes (workloads, machine, seed, quantum, sample/sensor
+    intervals, and the thermal time base, which sizes malicious-variant
+    bursts via ``cycles_from_seconds``).  Everything else — DTM policy,
+    thresholds, thermal network constants, sensor noise — may vary per lane
+    and is handled by the engine's per-lane state.
+
+    Not batchable at all: campaign specs (state persists across quanta),
+    trace/telemetry runs (they observe per-cycle state the batch engine
+    does not replay), and any spec with a fault plan (runtime injectors
+    perturb the pipeline; worker chaos hooks must fire in the scalar
+    attempt path).
+    """
+    if getattr(spec, "quanta", None) is not None:
+        return None
+    if getattr(spec, "trace", False) or getattr(spec, "telemetry", False):
+        return None
+    config = getattr(spec, "config", None)
+    if not isinstance(config, SimulationConfig):
+        return None
+    if config.faults is not None:
+        return None
+    quantum = spec.quantum_cycles
+    if quantum is None:
+        quantum = config.quantum_cycles
+    thermal = config.thermal
+    payload = {
+        "schema": BATCH_SCHEMA,
+        "workloads": list(spec.workloads),
+        "machine": dataclasses.asdict(config.machine),
+        "seed": config.seed,
+        "quantum": quantum,
+        "sample_interval": config.sedation.sample_interval,
+        "sensor_interval": thermal.sensor_interval,
+        "frequency_hz": thermal.frequency_hz,
+        "time_scale": thermal.time_scale,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _network_key(thermal) -> str:
+    """Grouping key for lanes that share one RC thermal network.
+
+    Everything in the thermal config feeds the network except the sensor
+    fields: noise perturbs only *reported* values (per lane), and the
+    sensor interval is already batch-shared.  Built by deletion, so a new
+    ThermalConfig field lands in the key (= splits groups) by default.
+    """
+    payload = dataclasses.asdict(thermal)
+    del payload["sensor_noise_k"]
+    del payload["sensor_noise_seed"]
+    del payload["sensor_interval"]
+    return json.dumps(payload, sort_keys=True)
+
+
+class _NetworkGroup:
+    """One shared RC network: lanes with equal thermal configs.
+
+    All lanes of a group observe the same block powers (one pipeline), so
+    they share a single packed-state trajectory — the group advances one
+    state vector, not one per lane.
+    """
+
+    __slots__ = ("model", "state", "ideal", "advances", "lanes", "live")
+
+    def __init__(self, model: RCThermalModel) -> None:
+        self.model = model
+        self.state = model.state_vector()
+        self.ideal = model.package.ideal
+        self.advances = 0
+        self.lanes: list[int] = []
+        self.live = True
+
+
+def _lane_triggers(config: SimulationConfig) -> tuple[float, bool, float]:
+    """(emergency-eject threshold, strict compare?, sedation-upper) per lane.
+
+    The ejection point for each policy is the *first* sensor reading at
+    which the scalar policy would change any observable state:
+
+    * ``ideal`` never acts;
+    * ``stop_and_go``/``dvfs``/``fetch_gating`` engage at
+      ``hottest >= emergency_k``;
+    * ``ttdfs`` steps its slowdown at ``hottest > emergency_k - 1.0`` (its
+      tracking threshold; engagements increment on the first step);
+    * ``sedation`` sedates at ``any block >= upper_threshold_k`` *iff* at
+      least two candidate threads exist (the last unsedated thread is
+      never sedated), and its stop-and-go safety net engages at
+      ``hottest >= emergency_k`` regardless.
+    """
+    policy = config.dtm_policy
+    emergency = config.thermal.emergency_k
+    if policy == "ideal":
+        return _NEVER, False, _NEVER
+    if policy == "ttdfs":
+        return emergency - 1.0, True, _NEVER
+    if policy == "sedation":
+        return emergency, False, config.sedation.upper_threshold_k
+    # stop_and_go, dvfs, fetch_gating: engage at the emergency point.
+    return emergency, False, _NEVER
+
+
+def simulate_lockstep(specs) -> tuple[dict[int, RunResult], list[int]]:
+    """Advance every spec in lock step; eject lanes whose DTM would act.
+
+    ``specs`` must all share one :func:`batch_fingerprint`.  Returns
+    ``(results, deferred)``: ``results`` maps input index → RunResult for
+    lanes that ran quiet to the end of the quantum (byte-identical to the
+    scalar simulator); ``deferred`` lists the indices of ejected lanes,
+    which the caller must re-run through the scalar path.
+    """
+    spec_list = list(specs)
+    if not spec_list:
+        return {}, []
+    first_key = batch_fingerprint(spec_list[0])
+    if first_key is None or any(
+        batch_fingerprint(spec) != first_key for spec in spec_list
+    ):
+        raise SimulationError(
+            "simulate_lockstep needs specs sharing one batch fingerprint"
+        )
+    # Wall time feeds PerfCounters only (compare=False diagnostics).
+    wall_start = time.perf_counter()  # repro: noqa(RPR001) perf diagnostics only
+
+    lanes = len(spec_list)
+    base = spec_list[0]
+    config0 = base.config
+    quantum = (
+        config0.quantum_cycles
+        if base.quantum_cycles is None
+        else base.quantum_cycles
+    )
+    if quantum <= 0:
+        raise SimulationError("quantum must be positive")
+    workload_names = tuple(base.workloads)
+
+    # -- shared pipeline (one core, one accountant, for every lane) --------
+    core = build_pipeline(config0, list(workload_names))
+    energy = EnergyModel.default()
+    accountant = PowerAccountant(core, energy, config0.thermal.frequency_hz)
+    monitor = BatchUsageMonitor(
+        core, [spec.config.sedation.ewma_shift for spec in spec_list]
+    )
+
+    # -- per-network-group thermal state -----------------------------------
+    groups: dict[str, _NetworkGroup] = {}
+    lane_group: list[_NetworkGroup] = []
+    for index, spec in enumerate(spec_list):
+        key = _network_key(spec.config.thermal)
+        group = groups.get(key)
+        if group is None:
+            group = _NetworkGroup(
+                RCThermalModel(spec.config.thermal, None, energy)
+            )
+            groups[key] = group
+        group.lanes.append(index)
+        lane_group.append(group)
+    group_list = list(groups.values())
+
+    # -- per-lane sensor/detector/trigger state ----------------------------
+    noise_sources: list[tuple | None] = []
+    for spec in spec_list:
+        thermal = spec.config.thermal
+        if thermal.sensor_noise_k > 0.0:
+            rng = random.Random(thermal.sensor_noise_seed)
+            noise_sources.append((rng.gauss, thermal.sensor_noise_k))
+        else:
+            noise_sources.append(None)
+    detector = BatchCrossingDetector(
+        np.array([s.config.thermal.emergency_k for s in spec_list]),
+        # The scalar bank seeds its peak with the warm-start temperatures.
+        np.array(
+            [float(np.max(g.model.temperatures())) for g in lane_group]
+        ),
+    )
+    trigger_rows = [_lane_triggers(spec.config) for spec in spec_list]
+    eject_at = np.array([row[0] for row in trigger_rows])
+    eject_strict = np.array([row[1] for row in trigger_rows], dtype=bool)
+    sedation_upper = np.array([row[2] for row in trigger_rows])
+
+    active = np.ones(lanes, dtype=bool)
+    deferred: list[int] = []
+
+    sample_interval = config0.sedation.sample_interval
+    sensor_interval = config0.thermal.sensor_interval
+    seconds_per_cycle = config0.thermal.seconds_per_cycle
+    target = quantum
+    next_sample = sample_interval
+    next_sensor = sensor_interval
+    last_thermal = 0
+    temps = np.empty((lanes, NUM_BLOCKS))
+
+    # -- the lock-step loop: the scalar run loop's quiet path --------------
+    while core.cycle < target and active.any():
+        boundary = min(next_sample, next_sensor, target)
+        span = boundary - core.cycle
+        if span > 0:
+            core.run_cycles(span)
+            for thread in core.threads:
+                thread.cycles_normal += span
+        if core.cycle >= next_sample:
+            monitor.sample()
+            next_sample += sample_interval
+        if core.cycle >= next_sensor:
+            cycles = core.cycle - last_thermal
+            if cycles > 0:
+                powers = accountant.block_powers(1.0)
+                dt = cycles * seconds_per_cycle
+                for group in group_list:
+                    if group.ideal or not group.live:
+                        continue
+                    state_prop, input_prop = group.model.propagator(dt)
+                    source = group.model.source_vector(powers)
+                    # The exact scalar advance expression, applied to the
+                    # group's packed state: same operands, same bits.
+                    group.state = (
+                        state_prop @ group.state + input_prop @ source
+                    )
+                    group.advances += 1
+                last_thermal = core.cycle
+            for index in range(lanes):
+                if not active[index]:
+                    continue
+                group = lane_group[index]
+                if group.ideal:
+                    temps[index] = group.model.t_block
+                else:
+                    temps[index] = group.state[:NUM_BLOCKS]
+                noise = noise_sources[index]
+                if noise is not None:
+                    gauss, sigma = noise
+                    row = temps[index]
+                    for block in range(NUM_BLOCKS):
+                        row[block] += gauss(0.0, sigma)
+            # Inactive lanes keep stale rows; their counters are discarded.
+            detector.observe(temps)
+            hottest = temps.max(axis=1)
+            eject = np.where(
+                eject_strict, hottest > eject_at, hottest >= eject_at
+            )
+            candidates = sum(
+                1
+                for t in core.threads
+                if not t.sedated and not t.throttle_modulus and not t.halted
+            )
+            if candidates >= 2:
+                eject |= (temps >= sedation_upper[:, None]).any(axis=1)
+            eject &= active
+            if eject.any():
+                active &= ~eject
+                for index in np.flatnonzero(eject):
+                    deferred.append(int(index))
+                for group in group_list:
+                    group.live = any(active[i] for i in group.lanes)
+            next_sensor += sensor_interval
+
+    wall_seconds = time.perf_counter() - wall_start  # repro: noqa(RPR001) perf diagnostics only
+    results: dict[int, RunResult] = {}
+    if not active.any():
+        return results, sorted(deferred)
+
+    # -- per-lane result assembly (the scalar _collect, zero baselines) ----
+    cycles = core.cycle
+    idle_skipped = core.perf_idle_skipped
+    stall_skipped = core.perf_stall_skipped
+    threads = tuple(
+        ThreadStats(
+            thread=t.tid,
+            workload=workload_names[t.tid],
+            committed=t.committed,
+            fetched=t.fetched,
+            cycles=cycles,
+            cycles_normal=t.cycles_normal,
+            cycles_cooling=t.cycles_cooling,
+            cycles_sedated=t.cycles_sedated,
+            access_counts=tuple(core.access_counts[t.tid]),
+        )
+        for t in core.threads
+    )
+    # Wall time is amortized evenly over the completed lanes: the honest
+    # per-run cost of the batch (PerfCounters are compare=False diagnostics;
+    # every simulated counter below is per-run exact, not a batch total).
+    wall_share = wall_seconds / int(active.sum())
+    for index in np.flatnonzero(active):
+        index = int(index)
+        group = lane_group[index]
+        perf = PerfCounters(
+            cycles=cycles,
+            stepped_cycles=cycles - idle_skipped - stall_skipped,
+            idle_skipped_cycles=idle_skipped,
+            stall_skipped_cycles=stall_skipped,
+            wall_seconds=wall_share,
+            thermal_advances=group.advances,
+            propagator_builds=group.model.perf_propagator_builds,
+        )
+        results[index] = RunResult(
+            workloads=workload_names,
+            policy=spec_list[index].config.dtm_policy,
+            cycles=cycles,
+            threads=threads,
+            emergencies=int(detector.total_emergencies[index]),
+            emergencies_per_block=tuple(
+                int(count) for count in detector.emergencies_per_block[index]
+            ),
+            peak_temperature_k=float(detector.peak_k[index]),
+            sedations=0,
+            safety_net_engagements=0,
+            stall_engagements=0,
+            trace=(),
+            perf=perf,
+            telemetry=None,
+        )
+    return results, sorted(deferred)

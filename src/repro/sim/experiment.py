@@ -32,6 +32,7 @@ class ExperimentRunner:
         base_config: SimulationConfig | None = None,
         jobs: int | None = None,
         cache_dir: str | Path | None = None,
+        batch: bool = True,
     ) -> None:
         self.base = base_config or scaled_config()
         self.results: dict[str, RunResult] = {}
@@ -39,6 +40,9 @@ class ExperimentRunner:
         self.jobs = jobs
         #: on-disk result cache directory (None = no cache)
         self.cache_dir = cache_dir
+        #: lock-step batch tier toggle (see :func:`repro.sim.run_many`);
+        #: results are byte-identical either way
+        self.batch = batch
 
     # -- run shapes ---------------------------------------------------------
 
@@ -90,6 +94,7 @@ class ExperimentRunner:
                 jobs=self.jobs or 1,
                 cache_dir=self.cache_dir,
                 cache=self.cache_dir is not None,
+                batch=self.batch,
             )
             for (label, _, _), result in zip(missing, fresh, strict=True):
                 self.results[label] = result

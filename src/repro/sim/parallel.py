@@ -57,6 +57,7 @@ from pathlib import Path
 from ..config import SimulationConfig
 from ..errors import FaultError, SimulationError
 from ..telemetry.metrics import MetricsRegistry
+from .batch import batch_fingerprint, simulate_lockstep
 from .campaign import CampaignResult, QuantumRecord, run_campaign
 from .results import FORMAT_VERSION, result_from_dict, result_to_dict
 from .simulator import run_workloads
@@ -246,13 +247,14 @@ def _execute_attempt(
 def _execute_with_watchdog(
     spec: RunSpec | CampaignSpec, attempt: int, timeout: float
 ) -> RunResult | CampaignResult:
-    """Serial execution with the same per-spec timeout the pool enforces.
+    """One attempt under a per-spec wall-clock timeout.
 
     The attempt runs in a daemon thread; if it outlives ``timeout`` the
     caller moves on (the thread is abandoned — it holds no locks and its
-    simulator state is garbage the moment we stop waiting).  This is what
-    keeps the BrokenProcessPool serial fallback from hanging forever when
-    one of the surviving specs is itself a hang.
+    simulator state is garbage the moment we stop waiting).  Used serially
+    (so the BrokenProcessPool fallback cannot hang forever on a spec that
+    is itself a hang) and *inside* pool workers running a chunk of specs
+    (so one hung spec cannot eat its chunk-mates' time budget).
     """
     box: list = []
 
@@ -266,11 +268,40 @@ def _execute_with_watchdog(
     thread.start()
     thread.join(timeout)
     if thread.is_alive():
-        raise TimeoutError(f"spec exceeded {timeout:.3f}s (serial watchdog)")
+        raise TimeoutError(f"spec exceeded {timeout:.3f}s (watchdog)")
     status, value = box[0]
     if status == "error":
         raise value
     return value
+
+
+def _execute_chunk(
+    items: list[tuple[RunSpec | CampaignSpec, int]], timeout: float | None
+) -> list[tuple[str, object]]:
+    """Pool worker entry point: run one chunk of (spec, attempt) pairs.
+
+    Returns one ``(status, value)`` slot per item, index-aligned with the
+    input: ``("ok", result)``, ``("timeout", message)`` or
+    ``("error", message)``.  Each spec gets its *own* ``timeout`` via the
+    in-worker watchdog, preserving per-spec attempt semantics even though
+    the pool only sees one future per chunk.  An injected worker crash
+    still hard-kills the process (the chunk's completed slots die with it
+    and its specs re-run serially — the pool-break path).
+    """
+    results: list[tuple[str, object]] = []
+    for spec, attempt in items:
+        try:
+            if timeout is not None:
+                value = _execute_with_watchdog(spec, attempt, timeout)
+            else:
+                value = _execute_attempt(spec, attempt)
+        except TimeoutError as error:
+            results.append(("timeout", str(error)))
+        except Exception as error:
+            results.append(("error", f"{type(error).__name__}: {error}"))
+        else:
+            results.append(("ok", value))
+    return results
 
 
 def _backoff_seconds(key: str, attempt: int) -> float:
@@ -503,6 +534,22 @@ def _run_serial(
                     time.sleep(_backoff_seconds(key, attempts[key]))
 
 
+#: Extra wall seconds granted to a chunk future beyond the sum of its
+#: specs' own watchdog budgets (process spawn, pickling, scheduling).
+CHUNK_TIMEOUT_GRACE_S = 5.0
+
+
+def _chunk_size(pending: int, workers: int) -> int:
+    """Adaptive chunk size: ~4 chunks per worker.
+
+    Large sweeps amortize submission/pickling overhead over many specs per
+    future while keeping enough chunks in flight (4× the worker count) that
+    an unlucky slow chunk cannot straggle the whole round.  Small batches
+    degenerate to one spec per future — exactly the previous behavior.
+    """
+    return max(1, pending // (4 * workers))
+
+
 def _run_pool(
     work: list[tuple[str, RunSpec | CampaignSpec]],
     attempts: dict[str, int],
@@ -513,14 +560,16 @@ def _run_pool(
 ) -> None:
     """Execute specs in a worker pool; degrade to serial if the pool breaks.
 
-    One pool round submits every remaining spec as its own future and
-    collects them in submission order with a per-spec ``timeout``.  Failed
-    attempts requeue (with backoff) into the next round's pool.  A
-    ``BrokenProcessPool`` — some worker hard-died, taking every in-flight
-    future's outcome with it — falls back to :func:`_run_serial` for all
-    still-unresolved specs: graceful degradation, not abort.  In-process,
-    an injected crash raises :class:`~repro.errors.FaultError` instead of
-    killing the caller, so the normal retry bookkeeping applies.
+    One pool round groups the remaining specs into adaptive chunks (see
+    :func:`_chunk_size`) and submits one future per chunk; each spec inside
+    a chunk still gets its own per-attempt ``timeout`` via the in-worker
+    watchdog, and failed attempts requeue (with backoff) into the next
+    round's pool.  A ``BrokenProcessPool`` — some worker hard-died, taking
+    every in-flight future's outcome with it — falls back to
+    :func:`_run_serial` for all still-unresolved specs: graceful
+    degradation, not abort.  In-process, an injected crash raises
+    :class:`~repro.errors.FaultError` instead of killing the caller, so
+    the normal retry bookkeeping applies.
     """
     remaining = work
     while remaining:
@@ -528,31 +577,67 @@ def _run_pool(
             max_workers=min(workers, len(remaining)), initializer=_mark_worker
         )
         retry_list: list[tuple[str, RunSpec | CampaignSpec]] = []
+        size = _chunk_size(len(remaining), workers)
+        chunks = [
+            remaining[start : start + size]
+            for start in range(0, len(remaining), size)
+        ]
         try:
             futures = [
-                (pool.submit(_execute_attempt, spec, attempts[key]), key, spec)
-                for key, spec in remaining
+                (
+                    pool.submit(
+                        _execute_chunk,
+                        [(spec, attempts[key]) for key, spec in chunk],
+                        timeout,
+                    ),
+                    chunk,
+                )
+                for chunk in chunks
             ]
-            for future, key, spec in futures:
+            for future, chunk in futures:
+                # The in-worker watchdogs bound each spec; the future-level
+                # timeout is a backstop for a worker that never reports.
+                outer = (
+                    timeout * len(chunk) + CHUNK_TIMEOUT_GRACE_S
+                    if timeout is not None
+                    else None
+                )
                 try:
-                    outcomes[key] = future.result(timeout=timeout)
+                    slots = future.result(timeout=outer)
                 except BrokenProcessPool:
                     raise  # handled by the outer except: serial fallback
                 except TimeoutError as error:
                     future.cancel()
                     message = str(error) or (
-                        f"spec exceeded {timeout:.3f}s in worker"
+                        f"chunk exceeded {outer:.3f}s in worker"
                     )
-                    _note_failed_attempt(
-                        key, spec, "timeout", message, attempts, retries,
-                        outcomes, retry_list,
-                    )
+                    for key, spec in chunk:
+                        if key in outcomes:
+                            continue
+                        _note_failed_attempt(
+                            key, spec, "timeout", message, attempts,
+                            retries, outcomes, retry_list,
+                        )
                 except Exception as error:
-                    _note_failed_attempt(
-                        key, spec, "error",
-                        f"{type(error).__name__}: {error}", attempts,
-                        retries, outcomes, retry_list,
-                    )
+                    for key, spec in chunk:
+                        if key in outcomes:
+                            continue
+                        _note_failed_attempt(
+                            key, spec, "error",
+                            f"{type(error).__name__}: {error}", attempts,
+                            retries, outcomes, retry_list,
+                        )
+                else:
+                    for (key, spec), (status, value) in zip(
+                        chunk, slots, strict=True
+                    ):
+                        if status == "ok":
+                            outcomes[key] = value
+                        else:
+                            _note_failed_attempt(
+                                key, spec, status, str(value), attempts,
+                                retries, outcomes, retry_list,
+                            )
         except BrokenProcessPool:
             RUNNER_METRICS.inc("runner.pool_breaks")
             survivors = [
@@ -576,6 +661,67 @@ def _run_pool(
             )
 
 
+def _run_lockstep_groups(
+    work: list[tuple[str, RunSpec | CampaignSpec]],
+    outcomes: dict[str, RunResult | CampaignResult | RunFailure],
+    timeout: float | None,
+) -> None:
+    """The lock-step batch tier: amortize compatible specs on one pipeline.
+
+    Groups the pending specs by :func:`~repro.sim.batch.batch_fingerprint`
+    and runs each multi-spec group through
+    :func:`~repro.sim.batch.simulate_lockstep`.  Lanes that complete are
+    booked directly into ``outcomes`` (byte-identical to the scalar path,
+    so downstream caching and dedup behave as if the scalar simulator had
+    run); lanes the engine ejects — and the whole group, if the engine
+    fails or exceeds its time budget — simply stay unresolved and flow to
+    the scalar pool/serial path.  No attempt is ever booked here: the
+    batch tier is an accelerator, not an attempt, so retry budgets are
+    untouched.
+    """
+    groups: dict[str, list[tuple[str, RunSpec | CampaignSpec]]] = {}
+    for key, spec in work:
+        group_key = batch_fingerprint(spec)
+        if group_key is not None:
+            groups.setdefault(group_key, []).append((key, spec))
+    for members in groups.values():
+        if len(members) < 2:
+            continue  # nothing to amortize; the scalar path is optimal
+        specs = [spec for _, spec in members]
+        RUNNER_METRICS.inc("runner.batch_groups")
+        RUNNER_METRICS.inc("runner.batch_lanes", len(members))
+        try:
+            if timeout is not None:
+                # One shared budget: the batch does at most the work of
+                # len(members) scalar runs.
+                box: list = []
+
+                def _target(batch_specs: list = specs, out: list = box) -> None:
+                    try:
+                        out.append(("ok", simulate_lockstep(batch_specs)))
+                    except BaseException as error:  # noqa: BLE001
+                        out.append(("error", error))
+
+                thread = threading.Thread(target=_target, daemon=True)
+                thread.start()
+                thread.join(timeout * len(members))
+                if thread.is_alive():
+                    raise TimeoutError("batch group exceeded its time budget")
+                status, value = box[0]
+                if status == "error":
+                    raise value
+                lane_results, deferred = value
+            else:
+                lane_results, deferred = simulate_lockstep(specs)
+        except Exception:
+            RUNNER_METRICS.inc("runner.batch_errors")
+            continue  # every lane falls back to the scalar path
+        for lane, result in lane_results.items():
+            outcomes[members[lane][0]] = result
+        RUNNER_METRICS.inc("runner.batch_completed", len(lane_results))
+        RUNNER_METRICS.inc("runner.batch_deferred", len(deferred))
+
+
 def run_many(
     specs: Iterable[RunSpec | CampaignSpec],
     jobs: int | None = None,
@@ -584,15 +730,22 @@ def run_many(
     timeout: float | None = None,
     retries: int = 0,
     raise_on_error: bool = True,
+    batch: bool = True,
 ) -> list[RunResult | CampaignResult | RunFailure]:
     """Run a batch of specs, in parallel, through the on-disk cache.
 
     Results come back in input order.  Cache hits never touch a worker;
-    duplicate specs within one batch execute once.  ``jobs=None`` uses
-    :func:`default_jobs` (the ``REPRO_BENCH_JOBS`` environment variable);
-    ``jobs<=1`` or a single miss runs in-process, so small batches carry no
-    pool-spawn overhead.  ``cache=False`` (or ``cache_dir=None``) disables
-    the disk cache entirely.
+    duplicate specs within one batch execute once.  Cache misses go through
+    three tiers: compatible specs (same workloads/machine/seed/event grid —
+    see :func:`~repro.sim.batch.batch_fingerprint`) run lock-step on one
+    shared pipeline (:mod:`repro.sim.batch`), and whatever remains goes to
+    the process pool or the serial path.  ``batch=False`` disables the
+    lock-step tier (results are byte-identical either way; the knob exists
+    for benchmarking and for isolating the tier in tests).  ``jobs=None``
+    uses :func:`default_jobs` (the ``REPRO_BENCH_JOBS`` environment
+    variable); ``jobs<=1`` or a single miss runs in-process, so small
+    batches carry no pool-spawn overhead.  ``cache=False`` (or
+    ``cache_dir=None``) disables the disk cache entirely.
 
     Robustness knobs (docs/robustness.md):
 
@@ -641,10 +794,17 @@ def run_many(
         attempts = dict.fromkeys(order, 0)
         outcomes: dict[str, RunResult | CampaignResult | RunFailure] = {}
         workers = default_jobs() if jobs is None else max(1, jobs)
-        if workers <= 1 or len(work) == 1:
-            _run_serial(work, attempts, timeout, retries, outcomes)
+        if batch:
+            _run_lockstep_groups(work, outcomes, timeout)
+        unresolved = [(key, spec) for key, spec in work if key not in outcomes]
+        if not unresolved:
+            pass
+        elif workers <= 1 or len(unresolved) == 1:
+            _run_serial(unresolved, attempts, timeout, retries, outcomes)
         else:
-            _run_pool(work, attempts, timeout, retries, outcomes, workers)
+            _run_pool(
+                unresolved, attempts, timeout, retries, outcomes, workers
+            )
         for key, spec in work:
             outcome = outcomes[key]
             if not isinstance(outcome, RunFailure):

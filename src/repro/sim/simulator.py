@@ -34,6 +34,35 @@ from ..workloads.registry import is_malicious, make_source
 from .stats import RunResult, ThreadStats
 
 
+def build_pipeline(config: SimulationConfig, workloads: list[str]) -> SMTCore:
+    """Construct the SMT core with seeded, prefilled workload sources.
+
+    Exactly the pipeline a :class:`Simulator` builds for the same config and
+    workload names — shared with the lock-step batch engine
+    (:mod:`repro.sim.batch`), which drives one core on behalf of many
+    config-variant lanes.  Of the config, only ``machine``, ``seed``, and
+    the thermal time base (``time_scale``/``frequency_hz``, via
+    ``cycles_from_seconds`` in the malicious-variant sources) influence the
+    result; that is what makes pipeline sharing across thermal/DTM variants
+    sound.
+    """
+    machine = config.machine
+    if len(workloads) != machine.num_threads:
+        raise SimulationError(
+            f"need {machine.num_threads} workloads, got {len(workloads)}"
+        )
+    sources = [
+        make_source(name, tid, machine, config.thermal, seed=config.seed)
+        for tid, name in enumerate(workloads)
+    ]
+    core = SMTCore(machine, sources)
+    for source in sources:
+        prefill = getattr(source, "prefill", None)
+        if prefill is not None:
+            prefill(core.hierarchy)
+    return core
+
+
 class Simulator:
     """One SMT machine instance under one DTM policy."""
 
@@ -51,14 +80,7 @@ class Simulator:
         if sources is None:
             if workloads is None:
                 raise SimulationError("provide workload names or uop sources")
-            if len(workloads) != machine.num_threads:
-                raise SimulationError(
-                    f"need {machine.num_threads} workloads, got {len(workloads)}"
-                )
-            sources = [
-                make_source(name, tid, machine, config.thermal, seed=config.seed)
-                for tid, name in enumerate(workloads)
-            ]
+            self.core = build_pipeline(config, list(workloads))
             self.workload_names = tuple(workloads)
         else:
             if len(sources) != machine.num_threads:
@@ -70,12 +92,11 @@ class Simulator:
                 if workloads
                 else [type(s).__name__ for s in sources]
             )
-
-        self.core = SMTCore(machine, sources)
-        for source in sources:
-            prefill = getattr(source, "prefill", None)
-            if prefill is not None:
-                prefill(self.core.hierarchy)
+            self.core = SMTCore(machine, sources)
+            for source in sources:
+                prefill = getattr(source, "prefill", None)
+                if prefill is not None:
+                    prefill(self.core.hierarchy)
         self.energy = energy or EnergyModel.default()
         self.thermal = RCThermalModel(config.thermal, floorplan, self.energy)
         self.sensors = SensorBank(

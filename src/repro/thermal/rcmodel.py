@@ -182,6 +182,64 @@ class RCThermalModel:
         """Current die-block temperatures (K), indexed by block id."""
         return self.t_block.copy()
 
+    @property
+    def state_dim(self) -> int:
+        """Length of the packed state vector (3 nodes per block + sink)."""
+        return self._state_dim
+
+    @property
+    def sink_index(self) -> int:
+        """Index of the sink node inside the packed state vector."""
+        return self._sink_index
+
+    def state_vector(self) -> np.ndarray:
+        """Pack the current node temperatures into one fresh state vector.
+
+        Layout matches the propagators: blocks, then die-local regions, then
+        spreader regions, then the sink.  The batch engine
+        (:mod:`repro.sim.batch`) carries these vectors externally and
+        advances them with :meth:`propagator` + :meth:`source_vector`, which
+        is the exact computation :meth:`advance` performs in place.
+        """
+        n = NUM_BLOCKS
+        state = np.empty(self._state_dim)
+        state[0:n] = self.t_block
+        state[n : 2 * n] = self.t_local
+        state[2 * n : 3 * n] = self.t_deep
+        state[self._sink_index] = self.t_sink
+        return state
+
+    def load_state_vector(self, state: np.ndarray) -> None:
+        """Adopt a packed state vector produced by :meth:`state_vector`."""
+        n = NUM_BLOCKS
+        self.t_block = state[0:n].copy()
+        self.t_local = state[n : 2 * n].copy()
+        self.t_deep = state[2 * n : 3 * n].copy()
+        self.t_sink = float(state[self._sink_index])
+
+    def source_vector(self, block_powers: list[float]) -> np.ndarray:
+        """Heat-input vector for one interval: block powers + sink drive."""
+        if len(block_powers) != NUM_BLOCKS:
+            raise ThermalError("need one power entry per block")
+        source = np.zeros(self._state_dim)
+        source[0:NUM_BLOCKS] = block_powers
+        source[self._sink_index] = (
+            self.energy.other_power_w
+            + self.config.ambient_k / self.package.convection_resistance_k_per_w
+        )
+        return source
+
+    def propagator(self, dt_seconds: float) -> tuple[np.ndarray, np.ndarray]:
+        """The cached ``(E(dt), F(dt))`` pair for one interval length.
+
+        ``state' = E @ state + F @ source`` advances the packed state vector
+        exactly by ``dt_seconds`` — the same cached pair :meth:`advance`
+        applies, exposed so a batch of runs can share it across lanes.
+        """
+        if dt_seconds <= 0:
+            raise ThermalError("propagators need a positive interval")
+        return self._propagator(dt_seconds)
+
     def block_temperature(self, block: int) -> float:
         return float(self.t_block[block])
 
@@ -268,31 +326,12 @@ class RCThermalModel:
             return
         if self.package.ideal:
             return
-        if len(block_powers) != NUM_BLOCKS:
-            raise ThermalError("need one power entry per block")
-
-        n = NUM_BLOCKS
-        state = np.empty(self._state_dim)
-        state[0:n] = self.t_block
-        state[n : 2 * n] = self.t_local
-        state[2 * n : 3 * n] = self.t_deep
-        state[self._sink_index] = self.t_sink
-
-        source = np.zeros(self._state_dim)
-        source[0:n] = block_powers
-        source[self._sink_index] = (
-            self.energy.other_power_w
-            + self.config.ambient_k / self.package.convection_resistance_k_per_w
-        )
-
+        state = self.state_vector()
+        source = self.source_vector(block_powers)
         state_prop, input_prop = self._propagator(dt_seconds)
         state = state_prop @ state + input_prop @ source
         self.perf_advances += 1
-
-        self.t_block = state[0:n].copy()
-        self.t_local = state[n : 2 * n].copy()
-        self.t_deep = state[2 * n : 3 * n].copy()
-        self.t_sink = float(state[self._sink_index])
+        self.load_state_vector(state)
 
     def advance_euler(self, dt_seconds: float, block_powers: list[float]) -> None:
         """Forward-Euler reference integrator (substeps at τ_block/4).

@@ -99,3 +99,40 @@ class SensorBank:
             for block, count in enumerate(self.emergencies_per_block)
             if count
         }
+
+
+class BatchCrossingDetector:
+    """Edge-triggered emergency detection over ``B`` lock-step lanes.
+
+    The vector form of :meth:`SensorBank.sample`'s detection loop: given a
+    ``(B, NUM_BLOCKS)`` matrix of reported temperatures per sensor
+    boundary, it records upward crossings of each lane's emergency point,
+    per-block and total counts, and the running peak — all with the exact
+    comparisons the scalar bank performs, so a lane's counters are
+    bit-equal to a scalar run fed the same readings.
+    """
+
+    def __init__(
+        self,
+        emergency_k: np.ndarray,
+        initial_peak_k: np.ndarray,
+    ) -> None:
+        lanes = len(emergency_k)
+        self.emergency_k = np.asarray(
+            emergency_k, dtype=float
+        ).reshape(lanes, 1)
+        self._above_emergency = np.zeros((lanes, NUM_BLOCKS), dtype=bool)
+        self.emergencies_per_block = np.zeros(
+            (lanes, NUM_BLOCKS), dtype=np.int64
+        )
+        self.total_emergencies = np.zeros(lanes, dtype=np.int64)
+        self.peak_k = np.asarray(initial_peak_k, dtype=float).copy()
+
+    def observe(self, temperatures: np.ndarray) -> None:
+        """Fold one ``(B, NUM_BLOCKS)`` reading into every lane's counters."""
+        above = temperatures >= self.emergency_k
+        crossings = above & ~self._above_emergency
+        self._above_emergency = above
+        self.emergencies_per_block += crossings
+        self.total_emergencies += crossings.sum(axis=1)
+        self.peak_k = np.maximum(self.peak_k, temperatures.max(axis=1))

@@ -1,0 +1,350 @@
+"""Lock-step batch engine: the byte-identity equivalence gate.
+
+The contract of :mod:`repro.sim.batch` is absolute: any lane it completes
+must be **byte-identical** to the scalar simulator's result — same RunResult
+JSON, same cache keys — and any lane it cannot guarantee that for must be
+deferred to the scalar path.  These tests enforce the contract with
+byte-compares of canonical JSON (only ``perf.wall_seconds`` is zeroed; wall
+time is the single nondeterministic field, and ``perf`` is compare=False
+diagnostics), across a grid of workloads × DTM policies × thermal/sedation
+variants, plus the engine's unit-level vector forms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.blocks import INT_RF, NUM_BLOCKS
+from repro.config import scaled_config
+from repro.core.detector import (
+    culprit_margin,
+    culprit_margins,
+    identify_culprit,
+    identify_culprits,
+)
+from repro.core.ewma import Ewma, EwmaBank
+from repro.core.usage import BatchUsageMonitor, UsageMonitor
+from repro.errors import SimulationError
+from repro.faults import FaultPlan, SensorFaultPlan
+from repro.sim import RunSpec, run_many
+from repro.sim.batch import batch_fingerprint, simulate_lockstep
+from repro.sim.parallel import CampaignSpec, spec_fingerprint
+from repro.sim.results import result_to_dict
+from repro.sim.simulator import Simulator, build_pipeline
+from repro.thermal.sensors import BatchCrossingDetector, SensorBank
+
+POLICIES = ("ideal", "stop_and_go", "dvfs", "ttdfs", "fetch_gating", "sedation")
+
+
+def tiny_config(policy: str = "ideal", **kwargs):
+    kwargs.setdefault("time_scale", 8_000.0)
+    kwargs.setdefault("quantum_cycles", 15_000)
+    return scaled_config(**kwargs).with_policy(policy)
+
+
+def canonical(result) -> str:
+    """RunResult as canonical JSON with the wall-clock field zeroed."""
+    payload = result_to_dict(result)
+    payload["perf"]["wall_seconds"] = 0.0
+    return json.dumps(payload, sort_keys=True)
+
+
+def assert_equivalent(specs) -> None:
+    """The gate: batch-tier results byte-equal the scalar path's."""
+    scalar = run_many(specs, jobs=1, cache=False, batch=False)
+    batched = run_many(specs, jobs=1, cache=False, batch=True)
+    for spec, fast, slow in zip(specs, batched, scalar, strict=True):
+        assert canonical(fast) == canonical(slow), spec
+
+
+class TestFingerprint:
+    def test_policy_and_thermal_variants_share_a_fingerprint(self):
+        base = tiny_config()
+        specs = [
+            RunSpec(("gcc", "swim"), base.with_policy(p)) for p in POLICIES
+        ]
+        specs.append(RunSpec(("gcc", "swim"), base.with_ideal_sink()))
+        keys = {batch_fingerprint(spec) for spec in specs}
+        assert len(keys) == 1 and None not in keys
+
+    def test_pipeline_inputs_split_the_fingerprint(self):
+        base = RunSpec(("gcc", "swim"), tiny_config())
+        assert batch_fingerprint(base) != batch_fingerprint(
+            RunSpec(("gcc", "mcf"), tiny_config())
+        )
+        assert batch_fingerprint(base) != batch_fingerprint(
+            RunSpec(("gcc", "swim"), tiny_config(seed=99))
+        )
+        assert batch_fingerprint(base) != batch_fingerprint(
+            RunSpec(("gcc", "swim"), tiny_config(), quantum_cycles=7_000)
+        )
+
+    def test_unbatchable_specs_fingerprint_to_none(self):
+        config = tiny_config()
+        assert batch_fingerprint(RunSpec(("gcc", "swim"), config, trace=True)) is None
+        assert (
+            batch_fingerprint(RunSpec(("gcc", "swim"), config, telemetry=True))
+            is None
+        )
+        assert (
+            batch_fingerprint(CampaignSpec(("gcc", "swim"), config, quanta=2))
+            is None
+        )
+        faulty = config.with_faults(
+            FaultPlan(sensor=SensorFaultPlan(mode="stuck_at", blocks=(INT_RF,)))
+        )
+        assert batch_fingerprint(RunSpec(("gcc", "swim"), faulty)) is None
+
+
+class TestEquivalenceGate:
+    """Scalar-vs-batch byte-identity across the paper's run shapes."""
+
+    @pytest.mark.parametrize("workloads", [("gcc", "swim"), ("gzip", "mcf")])
+    def test_quiet_pair_all_policies(self, workloads):
+        base = tiny_config()
+        assert_equivalent(
+            [RunSpec(workloads, base.with_policy(p)) for p in POLICIES]
+        )
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_attack_pair_all_policies(self, seed):
+        # DTM policies fire under attack: acting lanes must eject and the
+        # end-to-end results still byte-match the scalar path.
+        base = tiny_config(seed=seed)
+        assert_equivalent(
+            [
+                RunSpec(("gcc", "variant1"), base.with_policy(p))
+                for p in POLICIES
+            ]
+        )
+
+    def test_thermal_and_sedation_variant_lanes(self):
+        base = tiny_config()
+        noisy = dataclasses.replace(
+            base.thermal, sensor_noise_k=0.25, sensor_noise_seed=42
+        )
+        specs = [
+            RunSpec(("gcc", "swim"), base.with_policy("stop_and_go")),
+            RunSpec(("gcc", "swim"), base.with_ideal_sink()),
+            RunSpec(
+                ("gcc", "swim"),
+                dataclasses.replace(
+                    base.with_policy("stop_and_go"), thermal=noisy
+                ),
+            ),
+            RunSpec(
+                ("gcc", "swim"),
+                base.with_policy("stop_and_go").with_convection_resistance(
+                    base.thermal.convection_resistance_k_per_w * 1.25
+                ),
+            ),
+            RunSpec(("gcc", "swim"), base.with_policy("sedation")),
+            RunSpec(
+                ("gcc", "swim"),
+                base.with_policy("sedation").with_thresholds(
+                    base.sedation.upper_threshold_k + 0.5,
+                    base.sedation.lower_threshold_k,
+                ),
+            ),
+            RunSpec(
+                ("gcc", "swim"),
+                dataclasses.replace(
+                    base.with_policy("sedation"),
+                    sedation=dataclasses.replace(base.sedation, ewma_shift=3),
+                ),
+            ),
+        ]
+        assert_equivalent(specs)
+
+    def test_solo_and_all_idle_lanes(self):
+        # "idle" halts at cycle ~0, so these exercise the shared core's
+        # idle fast-forward inside the lock-step loop.
+        base = tiny_config()
+        assert_equivalent(
+            [
+                RunSpec(("mcf", "idle"), base.with_policy(p))
+                for p in ("ideal", "stop_and_go", "sedation")
+            ]
+            + [RunSpec(("idle", "idle"), base)]
+        )
+
+    def test_fault_plan_lane_stays_scalar_and_equivalent(self):
+        base = tiny_config("stop_and_go")
+        faulty = base.with_faults(
+            FaultPlan(sensor=SensorFaultPlan(mode="stuck_at", blocks=(INT_RF,)))
+        )
+        assert_equivalent(
+            [
+                RunSpec(("gcc", "swim"), base),
+                RunSpec(("gcc", "swim"), faulty),
+                RunSpec(("gcc", "swim"), base.with_policy("ideal")),
+            ]
+        )
+
+    def test_immediate_ejection_lane(self):
+        # Upper threshold below the warm-start temperature: the sedation
+        # lane must eject at the very first sensor boundary and still come
+        # back byte-identical through the scalar fallback.
+        base = tiny_config()
+        hair_trigger = base.with_policy("sedation").with_thresholds(350.0, 349.0)
+        specs = [
+            RunSpec(("gcc", "variant2"), base),
+            RunSpec(("gcc", "variant2"), hair_trigger),
+        ]
+        lane_results, deferred = simulate_lockstep(specs)
+        assert deferred == [1] and 0 in lane_results
+        assert_equivalent(specs)
+        scalar = run_many(specs, jobs=1, cache=False, batch=False)
+        assert scalar[1].sedations > 0
+
+    def test_single_lane_group(self):
+        spec = RunSpec(("gcc", "swim"), tiny_config())
+        lane_results, deferred = simulate_lockstep([spec])
+        assert deferred == []
+        scalar = run_many([spec], jobs=1, cache=False, batch=False)[0]
+        assert canonical(lane_results[0]) == canonical(scalar)
+
+    def test_mixed_fingerprints_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_lockstep(
+                [
+                    RunSpec(("gcc", "swim"), tiny_config()),
+                    RunSpec(("gcc", "mcf"), tiny_config()),
+                ]
+            )
+        with pytest.raises(SimulationError):
+            simulate_lockstep(
+                [RunSpec(("gcc", "swim"), tiny_config(), trace=True)]
+            )
+
+    def test_duplicate_specs_still_share_one_result(self):
+        spec = RunSpec(("gcc", "swim"), tiny_config())
+        other = RunSpec(("gcc", "swim"), tiny_config("stop_and_go"))
+        results = run_many([spec, other, spec], jobs=1, cache=False, batch=True)
+        assert results[0] is results[2]
+
+
+class TestCacheInterplay:
+    def test_batch_written_cache_hits_read_identically(self, tmp_path):
+        base = tiny_config()
+        specs = [
+            RunSpec(("gcc", "swim"), base.with_policy(p))
+            for p in ("ideal", "stop_and_go")
+        ]
+        first = run_many(specs, jobs=1, cache_dir=tmp_path, batch=True)
+        # The cache entries were produced by the batch tier but live under
+        # the scalar fingerprints; a batch=False pass must hit them.
+        for spec in specs:
+            assert (tmp_path / f"{spec_fingerprint(spec)}.json").exists()
+        second = run_many(specs, jobs=1, cache_dir=tmp_path, batch=False)
+        for a, b in zip(first, second, strict=True):
+            assert canonical(a) == canonical(b)
+
+
+class TestPerfCounters:
+    def test_batched_lanes_report_per_run_counters(self):
+        base = tiny_config()
+        specs = [
+            RunSpec(("gcc", "swim"), base.with_policy(p))
+            for p in ("ideal", "stop_and_go", "dvfs")
+        ]
+        lane_results, deferred = simulate_lockstep(specs)
+        assert deferred == []
+        scalar = run_many(specs, jobs=1, cache=False, batch=False)
+        for lane, fast in lane_results.items():
+            slow = scalar[lane].perf
+            assert fast.perf.cycles == slow.cycles
+            assert fast.perf.stepped_cycles == slow.stepped_cycles
+            assert fast.perf.idle_skipped_cycles == slow.idle_skipped_cycles
+            assert fast.perf.stall_skipped_cycles == slow.stall_skipped_cycles
+            assert fast.perf.thermal_advances == slow.thermal_advances
+            assert fast.perf.propagator_builds == slow.propagator_builds
+            assert fast.perf.wall_seconds > 0.0
+
+    def test_ideal_sink_lane_reports_zero_thermal_work(self):
+        spec = RunSpec(("gcc", "swim"), tiny_config().with_ideal_sink())
+        lane_results, _ = simulate_lockstep([spec])
+        assert lane_results[0].perf.thermal_advances == 0
+        assert lane_results[0].perf.propagator_builds == 0
+
+
+class TestVectorForms:
+    """The batched primitives against their scalar counterparts."""
+
+    def test_ewma_bank_matches_scalar_ewma(self):
+        shifts = [0, 2, 5]
+        bank = EwmaBank(np.array(shifts).reshape(3, 1), (3, 4))
+        scalars = [[Ewma(shift) for _ in range(4)] for shift in shifts]
+        samples = [
+            [0.5, 1.25, 3.0, 0.0],
+            [2.0, 0.125, 7.5, 1.0],
+            [0.75, 4.5, 0.25, 2.0],
+        ]
+        for row in samples:
+            bank.update(np.array(row))
+            for lane_values in scalars:
+                for ewma, value in zip(lane_values, row, strict=True):
+                    ewma.update(value)
+        for lane, lane_values in enumerate(scalars):
+            for column, ewma in enumerate(lane_values):
+                assert bank.values[lane, column] == ewma.value
+
+    def test_crossing_detector_matches_sensor_bank(self):
+        config = tiny_config()
+        simulator = Simulator(config, workloads=["gcc", "swim"])
+        bank = SensorBank(simulator.thermal, emergency_k=config.thermal.emergency_k)
+        detector = BatchCrossingDetector(
+            np.array([config.thermal.emergency_k]),
+            np.array([bank.peak_k]),
+        )
+        rng_temps = np.asarray(simulator.thermal.temperatures())
+        for offset in (0.0, 5.0, -2.0, 8.0, 8.0, -10.0, 9.0):
+            temps = rng_temps + offset
+            bank.model.t_block = temps.copy()
+            bank.sample(cycle=0)
+            detector.observe(temps[np.newaxis, :])
+        assert int(detector.total_emergencies[0]) == bank.total_emergencies
+        assert [
+            int(count) for count in detector.emergencies_per_block[0]
+        ] == bank.emergencies_per_block
+        assert float(detector.peak_k[0]) == bank.peak_k
+
+    def test_identify_and_margin_match_scalar_detector(self):
+        config = tiny_config()
+        core = build_pipeline(config, ["gcc", "swim"])
+        monitor = UsageMonitor(core, config.sedation)
+        monitor.set_weighted_average(0, INT_RF, 4.0)
+        monitor.set_weighted_average(1, INT_RF, 1.5)
+        averages = np.array(monitor.averages_at(INT_RF))
+        mask = np.array([True, True])
+        assert int(identify_culprits(averages, mask)) == identify_culprit(
+            monitor, INT_RF, [0, 1]
+        )
+        assert float(culprit_margins(averages, mask)) == culprit_margin(
+            monitor, INT_RF, [0, 1]
+        )
+        # one candidate: no winner change, zero margin — as the scalar form
+        solo_mask = np.array([False, True])
+        assert int(identify_culprits(averages, solo_mask)) == 1
+        assert float(culprit_margins(averages, solo_mask)) == 0.0
+        none_mask = np.array([False, False])
+        assert int(identify_culprits(averages, none_mask)) == -1
+
+    def test_batch_usage_monitor_matches_scalar(self):
+        config = tiny_config()
+        core = build_pipeline(config, ["gcc", "swim"])
+        scalar = UsageMonitor(core, config.sedation)
+        batch = BatchUsageMonitor(core, [config.sedation.ewma_shift, 3])
+        for _ in range(4):
+            core.run_cycles(500)
+            scalar.sample()
+            batch.sample()
+        assert batch.samples_taken == scalar.samples_taken
+        lane0 = batch.lane_values(0)
+        for tid in range(2):
+            for block in range(NUM_BLOCKS):
+                assert lane0[tid, block] == scalar.weighted_average(tid, block)

@@ -107,6 +107,20 @@ class TestDeterminismRule:
         }, select=("RPR001",))
         assert result.findings == [] and result.suppressed == 1
 
+    def test_batch_engine_module_is_guarded(self, tmp_path):
+        # The lock-step batch engine produces cache-keyed results, so a
+        # determinism hazard in sim/batch.py must fire like any simulator
+        # module — pin the module path inside the guarded set.
+        result = lint_sources(tmp_path, {
+            "sim/batch.py": """\
+                import time
+                def lane_order(lanes):
+                    time.time()
+                    return [lane for lane in set(lanes)]
+                """,
+        }, select=("RPR001",))
+        assert codes(result) == ["RPR001", "RPR001"]
+
 
 # -- RPR002: fingerprint completeness ----------------------------------------
 

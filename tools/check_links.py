@@ -39,6 +39,7 @@ DEFAULT_FILES = (
     "docs/paper_map.md",
     "docs/linting.md",
     "docs/robustness.md",
+    "docs/performance.md",
 )
 
 # Inline links; [text](target "title") and [text](target).  Images share
