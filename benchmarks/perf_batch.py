@@ -1,22 +1,29 @@
 """Lock-step batch kernel speedup: scalar sweep vs ``repro.sim.batch``.
 
-Not a paper figure — the perf trajectory of the simulator itself.  The
-workload is the §5.7 sweep shape: SPEC pairs, each swept across every DTM
-policy and a ladder of sedation-threshold/EWMA variants.  All lanes of one
-pair share workloads/machine/seed, differ only in thermal-management knobs,
-and stay quiet (no DTM engagement), which is exactly the shape the
-lock-step engine amortizes: one shared pipeline per pair, one shared
-thermal trajectory per thermal-config group.
+Not a paper figure — the perf trajectory of the simulator itself.  Two
+sweep shapes are measured, both on one core, cold cache, via
+:func:`repro.sim.run_many` with ``batch=False`` (scalar tier) vs
+``batch=True`` (lock-step tier):
 
-For each batch width ``B`` the same cold-cache spec list runs twice through
-:func:`repro.sim.run_many` on one core — ``batch=False`` (scalar tier) and
-``batch=True`` (lock-step tier) — and the wall-clock ratio is recorded to
-``benchmarks/results/BENCH_batch.json``.  A compact summary also lands in
-``BENCH_throughput.json`` so the throughput history tracks the batch tier.
+* **quiet** — the §5.7 sweep shape: SPEC pairs swept across every DTM
+  policy and a ladder of sedation-threshold/EWMA variants.  No policy ever
+  fires, so the whole width rides one cohort per pair; this bounds the
+  engine's best case and is pushed to B=256.
+* **acting** — the heat-stroke shape: an attack arm (``variant1`` vs every
+  engaging policy) and a sedation arm (``variant2`` vs a ladder of
+  hair-trigger sedation thresholds).  Every lane's DTM acts during the
+  quantum; cohort splitting (:mod:`repro.sim.cohort`) must keep lanes
+  batched, so the rows record lane retention, cohort counts, and split
+  counts alongside the speedup.
 
-``REPRO_BATCH_BENCH_TINY=1`` shrinks the grid (B=4, short horizon) for the
-CI perf-smoke step; the acceptance threshold (≥5× at B≥32) only applies to
-the full run.
+Results land in ``benchmarks/results/BENCH_batch.json``; a compact summary
+of the widest quiet row also lands in ``BENCH_throughput.json`` so the
+throughput history tracks the batch tier.
+
+``REPRO_BATCH_BENCH_TINY=1`` shrinks the grid (short horizon, B=4 quiet,
+B=32 acting) for the CI perf-smoke step.  The quiet acceptance bar (≥5× at
+B≥32) applies only to the full run; the acting bar (≥3× at B≥32) is
+asserted on both paths — the tiny grid keeps it cheap enough for CI.
 
 Run directly (``python benchmarks/perf_batch.py``) or via pytest.
 """
@@ -31,20 +38,32 @@ from pathlib import Path
 
 from repro.config import scaled_config
 from repro.sim import RunSpec, run_many
+from repro.sim.parallel import RUNNER_METRICS
 from repro.sim.results import result_to_dict
 
 TINY = os.environ.get("REPRO_BATCH_BENCH_TINY") == "1"
 
 SCALE = 20_000.0 if TINY else 4000.0
 QUANTUM = 6_000 if TINY else 60_000
-BATCH_SIZES = (1, 4) if TINY else (1, 8, 32, 64)
+QUIET_SIZES = (1, 4) if TINY else (1, 8, 32, 64)
+#: Widths where the quiet sweep drops to a single pair to bound wall time.
+WIDE_QUIET_SIZES = () if TINY else (128, 256)
+ACTING_SIZES = (32,) if TINY else (8, 32)
 PAIRS = (("gcc", "swim"), ("gzip", "mcf"))
 POLICIES = ("ideal", "stop_and_go", "dvfs", "ttdfs", "fetch_gating", "sedation")
+#: Policies that engage under attack (the acting sweep's attack arm).
+ENGAGING_POLICIES = ("stop_and_go", "dvfs", "ttdfs", "fetch_gating")
+#: Distinct hair-trigger threshold points in the sedation arm's ladder —
+#: each point is one action timeline, so roughly one cohort per point.
+SEDATION_LADDER = 4
 
-#: Required speedup at the widest batch (cold cache, one core); the
-#: tiny/CI grid is too small to amortize and is exempt.
+#: Required quiet-sweep speedup at the widest batch (full run only; the
+#: tiny/CI quiet grid is too small to amortize and is exempt).
 REQUIRED_SPEEDUP = 5.0
 REQUIRED_AT_B = 32
+#: Required acting-sweep speedup — asserted on the tiny path too (CI gate).
+ACTING_REQUIRED_SPEEDUP = 3.0
+ACTING_REQUIRED_AT_B = 32
 
 
 def lane_specs(pair: tuple[str, str], lanes: int) -> list[RunSpec]:
@@ -73,44 +92,134 @@ def lane_specs(pair: tuple[str, str], lanes: int) -> list[RunSpec]:
     return specs
 
 
+def attack_specs(lanes: int) -> list[RunSpec]:
+    """Attack arm: ``variant1`` vs ``lanes`` engaging-policy sweep points.
+
+    Lane ``i`` takes engaging policy ``i mod 4``; the ladder varies only
+    the EWMA shift (behavior-neutral for these policies), so lanes of one
+    policy share one action timeline — the cohort engine should retain
+    them batched with roughly one cohort per distinct timeline.
+    """
+    base = scaled_config(time_scale=SCALE, quantum_cycles=QUANTUM)
+    specs = []
+    for lane in range(lanes):
+        config = base.with_policy(
+            ENGAGING_POLICIES[lane % len(ENGAGING_POLICIES)]
+        )
+        step = lane // len(ENGAGING_POLICIES)
+        if step:
+            sedation = dataclasses.replace(
+                config.sedation,
+                ewma_shift=(config.sedation.ewma_shift + step) % 8,
+            )
+            config = dataclasses.replace(config, sedation=sedation)
+        specs.append(RunSpec(workloads=("gcc", "variant1"), config=config))
+    return specs
+
+
+def sedation_specs(lanes: int) -> list[RunSpec]:
+    """Sedation arm: ``variant2`` vs ``lanes`` hair-trigger sweep points.
+
+    The ladder lowers the upper/lower thresholds in ``SEDATION_LADDER``
+    distinct steps (every step sedates, at a different boundary) and varies
+    the EWMA shift across repeats of the same step for spec distinctness.
+    """
+    base = scaled_config(
+        time_scale=SCALE, quantum_cycles=QUANTUM
+    ).with_policy("sedation")
+    specs = []
+    for lane in range(lanes):
+        step = lane % SEDATION_LADDER
+        tier = lane // SEDATION_LADDER
+        config = base.with_thresholds(
+            352.0 - 0.5 * step, 351.0 - 0.5 * step
+        )
+        if tier:
+            sedation = dataclasses.replace(
+                config.sedation,
+                ewma_shift=(config.sedation.ewma_shift + tier) % 8,
+            )
+            config = dataclasses.replace(config, sedation=sedation)
+        specs.append(RunSpec(workloads=("gcc", "variant2"), config=config))
+    return specs
+
+
 def canonical(result) -> str:
     payload = result_to_dict(result)
     payload["perf"]["wall_seconds"] = 0.0
     return json.dumps(payload, sort_keys=True)
 
 
-def measure(lanes: int) -> dict:
-    """Cold-cache wall time of one sweep, scalar tier vs lock-step tier."""
-    specs = [spec for pair in PAIRS for spec in lane_specs(pair, lanes)]
+def _measure(specs: list[RunSpec], batch_width: int) -> dict:
+    """Cold-cache wall time of one sweep, scalar tier vs lock-step tier.
+
+    Batch-shape counters (lane retention, cohorts, splits) are read as
+    deltas of :data:`~repro.sim.parallel.RUNNER_METRICS` around the
+    batch-tier pass.
+    """
     start = time.perf_counter()
     scalar = run_many(specs, jobs=1, cache=False, batch=False)
     scalar_wall = time.perf_counter() - start
+    before = dict(RUNNER_METRICS.counters)
     start = time.perf_counter()
     batched = run_many(specs, jobs=1, cache=False, batch=True)
     batch_wall = time.perf_counter() - start
+
+    def delta(name: str) -> int:
+        return RUNNER_METRICS.counters.get(name, 0) - before.get(name, 0)
+
     identical = all(
         canonical(a) == canonical(b)
         for a, b in zip(batched, scalar, strict=True)
     )
+    batch_lanes = delta("runner.batch_lanes")
+    completed = delta("runner.batch_completed")
+    acting = sum(
+        1
+        for result in scalar
+        if result.stall_engagements or result.sedations
+    )
     return {
-        "batch_width": lanes,
+        "batch_width": batch_width,
         "specs": len(specs),
         "simulated_cycles": sum(r.cycles for r in scalar),
+        "acting_lanes": acting,
         "scalar_wall_seconds": round(scalar_wall, 4),
         "batch_wall_seconds": round(batch_wall, 4),
         "speedup": round(scalar_wall / batch_wall, 2),
         "byte_identical": identical,
+        "batch_lanes": batch_lanes,
+        "lane_retention": round(completed / batch_lanes, 4)
+        if batch_lanes
+        else 0.0,
+        "cohorts": delta("runner.batch_cohorts"),
+        "cohort_splits": delta("runner.batch_splits"),
     }
 
 
+def measure_quiet(lanes: int, pairs: tuple = PAIRS) -> dict:
+    return _measure(
+        [spec for pair in pairs for spec in lane_specs(pair, lanes)], lanes
+    )
+
+
+def measure_acting(lanes: int) -> dict:
+    return _measure(attack_specs(lanes) + sedation_specs(lanes), lanes)
+
+
 def run() -> dict:
+    quiet_rows = [measure_quiet(lanes) for lanes in QUIET_SIZES]
+    quiet_rows += [
+        measure_quiet(lanes, pairs=PAIRS[:1]) for lanes in WIDE_QUIET_SIZES
+    ]
     payload = {
         "time_scale": SCALE,
         "quantum_cycles": QUANTUM,
         "tiny": TINY,
         "pairs": ["+".join(pair) for pair in PAIRS],
         "policies": list(POLICIES),
-        "rows": [measure(lanes) for lanes in BATCH_SIZES],
+        "rows": quiet_rows,
+        "acting_rows": [measure_acting(lanes) for lanes in ACTING_SIZES],
     }
     results = Path(__file__).parent / "results"
     results.mkdir(exist_ok=True)
@@ -129,26 +238,50 @@ def _record_in_throughput(results: Path, payload: dict) -> None:
     except (OSError, ValueError):
         return
     widest = payload["rows"][-1]
+    acting = payload["acting_rows"][-1]
     history["batch_kernel"] = {
         "batch_width": widest["batch_width"],
         "scalar_wall_seconds": widest["scalar_wall_seconds"],
         "batch_wall_seconds": widest["batch_wall_seconds"],
         "speedup": widest["speedup"],
+        "acting_speedup": acting["speedup"],
+        "acting_lane_retention": acting["lane_retention"],
     }
     path.write_text(json.dumps(history, indent=1))
 
 
 def test_perf_batch():
     payload = run()
-    for row in payload["rows"]:
-        print(
-            f"B={row['batch_width']:3d} ({row['specs']} specs): "
-            f"scalar {row['scalar_wall_seconds']:.2f}s, "
-            f"batch {row['batch_wall_seconds']:.2f}s "
-            f"-> {row['speedup']:.2f}x"
-        )
-        assert row["byte_identical"], "batch tier diverged from scalar"
-        assert row["batch_wall_seconds"] > 0
+    for kind in ("rows", "acting_rows"):
+        for row in payload[kind]:
+            print(
+                f"{kind[:-1]} B={row['batch_width']:3d} "
+                f"({row['specs']} specs, {row['acting_lanes']} acting): "
+                f"scalar {row['scalar_wall_seconds']:.2f}s, "
+                f"batch {row['batch_wall_seconds']:.2f}s "
+                f"-> {row['speedup']:.2f}x, "
+                f"retention {row['lane_retention']:.0%}, "
+                f"{row['cohorts']} cohorts / {row['cohort_splits']} splits"
+            )
+            assert row["byte_identical"], "batch tier diverged from scalar"
+            assert row["batch_wall_seconds"] > 0
+    for row in payload["acting_rows"]:
+        # The whole point of the acting sweep: policies fire, yet every
+        # lane is retained in-batch by cohort splitting.
+        assert row["acting_lanes"] > 0, "acting sweep failed to trigger DTM"
+        assert row["lane_retention"] == 1.0, "acting lanes fell to scalar"
+        assert row["cohort_splits"] > 0, "acting sweep never split a cohort"
+    acting_wide = [
+        row
+        for row in payload["acting_rows"]
+        if row["batch_width"] >= ACTING_REQUIRED_AT_B
+    ]
+    assert acting_wide, "acting grid must include the acceptance width"
+    acting_best = max(row["speedup"] for row in acting_wide)
+    assert acting_best >= ACTING_REQUIRED_SPEEDUP, (
+        f"acting-sweep speedup {acting_best:.2f}x below the "
+        f"{ACTING_REQUIRED_SPEEDUP:.0f}x bar at B>={ACTING_REQUIRED_AT_B}"
+    )
     if not payload["tiny"]:
         widest = [
             row

@@ -39,9 +39,11 @@ from .faults import (
 from .power import EnergyModel
 from .sim import ExperimentRunner, Simulator
 from .sim.results import load_result, save_result
+from .sim.parallel import RUNNER_METRICS
 from .telemetry import (
     EventType,
     TelemetrySession,
+    batch_narrative,
     fault_injection_counts,
     filter_events,
     load_events,
@@ -125,7 +127,9 @@ def cmd_events(args) -> int:
         until=args.until,
     )
     if args.summary:
-        print(summarize(selected))
+        # Batch counters are per-process; present only when this process
+        # also ran the simulations behind the log (programmatic use).
+        print(summarize(selected, batch_counters=RUNNER_METRICS.counters))
         return 0
     shown = selected if args.limit is None else selected[: args.limit]
     for event in shown:
@@ -174,8 +178,14 @@ def cmd_attack(args) -> int:
         config, jobs=args.jobs, cache_dir=args.cache_dir, batch=args.batch
     )
     solo = runner.solo(args.victim, policy="stop_and_go")
-    attacked = runner.pair(args.victim, args.variant, policy="stop_and_go")
-    defended = runner.pair(args.victim, args.variant, policy="sedation")
+    # One dispatch for both attacked arms: they share workloads, so the
+    # batch tier runs them as one lock-step group that splits into
+    # cohorts when the sedation policy diverges.
+    paired = runner.pair_many(
+        [(args.victim, args.variant)], policies=("stop_and_go", "sedation")
+    )
+    attacked = paired[(args.victim, args.variant, "stop_and_go")]
+    defended = paired[(args.victim, args.variant, "sedation")]
     rows = [
         ["solo (stop-and-go)", solo.threads[0].ipc, solo.emergencies, "-"],
         [
@@ -195,6 +205,9 @@ def cmd_attack(args) -> int:
         ["configuration", f"{args.victim} ipc", "emergencies", "note"], rows,
         title=f"heat stroke vs {args.victim}",
     ))
+    if args.batch:
+        for line in batch_narrative(RUNNER_METRICS.counters):
+            print(f"batch tier: {line}")
     return 0
 
 

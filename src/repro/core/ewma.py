@@ -99,6 +99,37 @@ class EwmaBank:
         self.samples += 1
         return self.values
 
+    def update_where(
+        self, samples: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        """Blend one sample array into the registers selected by ``mask``.
+
+        Registers where ``mask`` (broadcastable against the bank shape) is
+        False are not clocked — their values come back bit-identical, the
+        scalar monitor's frozen-snapshot behavior for sedated threads.
+        Clocked registers see the exact :meth:`update` expression, so a
+        full-True mask is indistinguishable from :meth:`update`.
+        """
+        updated = self.values + (samples - self.values) * self.x
+        self.values = np.where(mask, updated, self.values)
+        self.samples += 1
+        return self.values
+
+    def take(self, indices: np.ndarray) -> "EwmaBank":
+        """New bank holding the selected leading-axis (lane) slices.
+
+        Used when a lock-step cohort splits: each child cohort carries away
+        its lanes' registers (copies — fancy indexing — so siblings never
+        alias).  Per-lane blend factors travel with their lanes; a scalar
+        (broadcast) factor is shared unchanged.
+        """
+        clone = object.__new__(EwmaBank)
+        clone.x = self.x[indices] if np.ndim(self.x) else self.x
+        clone.values = self.values[indices]
+        clone.samples = self.samples
+        clone.missed = self.missed
+        return clone
+
     def miss(self) -> np.ndarray:
         """Record one missed tick bank-wide; no register is clocked."""
         self.missed += 1

@@ -34,8 +34,14 @@ from .detector import culprit_margin, identify_culprit
 from .reporting import OffenderReport, OSReportLog, ReportKind
 from .usage import UsageMonitor
 
-_IDLE = 0
-_WAITING = 1
+#: Per-resource FSM states.  Public because the vectorized sedation bank
+#: (:mod:`repro.sim.cohort`) mirrors this exact state machine per lane and
+#: must agree on the encoding.
+SEDATION_IDLE = 0
+SEDATION_WAITING = 1
+
+_IDLE = SEDATION_IDLE
+_WAITING = SEDATION_WAITING
 
 
 class SelectiveSedationController:

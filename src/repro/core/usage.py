@@ -133,9 +133,11 @@ class BatchUsageMonitor:
     ``(count - last) / interval`` integer-exact division the scalar monitor
     performs, so every lane's values stay bit-equal to its scalar run.
 
-    No lane that stays in a batch ever sedates a thread (such lanes are
-    ejected to the scalar simulator first), so the scalar monitor's
-    frozen-snapshot branch for sedated threads has no vector counterpart.
+    A cohort's sedation state is pipeline-visible and therefore uniform
+    across its lanes (lanes whose sedation history diverges are split into
+    separate cohorts, each with its own monitor via :meth:`take`), so the
+    scalar monitor's frozen-snapshot branch for sedated threads maps to one
+    shared per-thread freeze mask passed to :meth:`sample`.
     """
 
     def __init__(self, core: SMTCore, ewma_shifts: list[int]) -> None:
@@ -148,8 +150,14 @@ class BatchUsageMonitor:
         self._last_cycle = core.cycle
         self.samples_taken = 0
 
-    def sample(self) -> None:
-        """Fold one shared interval's rates into every lane's EWMA bank."""
+    def sample(self, frozen: np.ndarray | None = None) -> None:
+        """Fold one shared interval's rates into every lane's EWMA bank.
+
+        ``frozen`` (per-thread bool, shared by every lane of the cohort)
+        marks sedated threads: their snapshot advances but their EWMA
+        registers are not clocked — exactly the scalar monitor's
+        ``last[:] = counts; continue`` branch.
+        """
         cycle = self.core.cycle
         interval = cycle - self._last_cycle
         if interval <= 0:
@@ -158,10 +166,34 @@ class BatchUsageMonitor:
         # Integer-exact numerator over an integer interval: float64 true
         # division of the same operands the scalar monitor divides.
         rates = (counts - self._last_counts) / interval
-        self.bank.update(rates[np.newaxis, :, :])
+        if frozen is None or not frozen.any():
+            self.bank.update(rates[np.newaxis, :, :])
+        else:
+            self.bank.update_where(
+                rates[np.newaxis, :, :], ~frozen.reshape(1, -1, 1)
+            )
         self._last_counts = counts
         self._last_cycle = cycle
         self.samples_taken += 1
+
+    def skip(self) -> None:
+        """Advance the snapshot without sampling (global-stall periods)."""
+        self._last_counts = np.asarray(self.core.access_counts, dtype=np.int64)
+        self._last_cycle = self.core.cycle
+
+    def take(self, indices: np.ndarray, core: SMTCore) -> "BatchUsageMonitor":
+        """New monitor for a child cohort holding the selected lanes.
+
+        ``core`` is the child cohort's pipeline (the snapshot state is
+        shared history, so it is copied; the EWMA bank is sliced per lane).
+        """
+        clone = object.__new__(BatchUsageMonitor)
+        clone.core = core
+        clone.bank = self.bank.take(indices)
+        clone._last_counts = self._last_counts.copy()
+        clone._last_cycle = self._last_cycle
+        clone.samples_taken = self.samples_taken
+        return clone
 
     def lane_values(self, lane: int) -> np.ndarray:
         """One lane's ``(threads, blocks)`` EWMA matrix (tests/diagnostics)."""

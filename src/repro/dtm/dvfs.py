@@ -18,6 +18,14 @@ from ..telemetry.events import EventType
 from ..thermal.sensors import SensorReading
 from .base import DTMPolicy
 
+#: Default frequency divisor while engaged.  Module-level so the vectorized
+#: policy bank (:mod:`repro.sim.cohort`) applies the identical step the
+#: scalar class default would.
+DEFAULT_SLOWDOWN = 2
+
+#: Default voltage ratio while engaged; dynamic power scales by its square.
+DEFAULT_VOLTAGE_RATIO = 0.85
+
 
 class DVFS(DTMPolicy):
     """Halve frequency (and scale voltage) when hot; restore when cool."""
@@ -28,8 +36,8 @@ class DVFS(DTMPolicy):
         self,
         emergency_k: float,
         resume_k: float,
-        slowdown: int = 2,
-        voltage_ratio: float = 0.85,
+        slowdown: int = DEFAULT_SLOWDOWN,
+        voltage_ratio: float = DEFAULT_VOLTAGE_RATIO,
     ) -> None:
         super().__init__()
         if resume_k >= emergency_k:

@@ -20,6 +20,18 @@ from ..telemetry.events import EventType
 from ..thermal.sensors import SensorReading
 from .base import DTMPolicy
 
+#: How far (K) the tracking threshold sits below the emergency point when
+#: the simulator builds a TTDFS policy from a config.  Shared with the
+#: vectorized policy bank (:mod:`repro.sim.cohort`) so both paths derive
+#: the identical threshold.
+TRACKING_OFFSET_K = 1.0
+
+#: Default kelvin per frequency notch.
+DEFAULT_DEGREES_PER_STEP = 1.0
+
+#: Default deepest frequency divisor.
+DEFAULT_MAX_SLOWDOWN = 4
+
 
 class TTDFS(DTMPolicy):
     """Frequency tracks temperature; nothing ever stalls."""
@@ -29,8 +41,8 @@ class TTDFS(DTMPolicy):
     def __init__(
         self,
         tracking_threshold_k: float,
-        degrees_per_step: float = 1.0,
-        max_slowdown: int = 4,
+        degrees_per_step: float = DEFAULT_DEGREES_PER_STEP,
+        max_slowdown: int = DEFAULT_MAX_SLOWDOWN,
     ) -> None:
         super().__init__()
         if degrees_per_step <= 0:

@@ -2,13 +2,15 @@
 
 Every figure in the paper is a *sweep* — dozens of runs that differ only in
 thermal or DTM knobs while sharing the same workloads, machine, and seed.
-The pipeline is a pure function of exactly those shared inputs, so until a
-lane's DTM policy intervenes, all lanes of such a sweep execute *the same
-cycle-by-cycle pipeline trajectory*.  This engine exploits that: it runs
-**one** SMT core on behalf of ``B`` lanes and carries everything that can
-differ per lane — thermal network state, sensor crossing counters, peak
-temperatures, EWMA banks, noise streams — as structure-of-arrays NumPy
-state advanced in lock step at the shared sample/sensor boundaries.
+The pipeline is a pure function of exactly those shared inputs, so as long
+as every lane would drive the pipeline identically, all lanes of such a
+sweep execute *the same cycle-by-cycle pipeline trajectory*.  This engine
+exploits that: it runs **one** SMT core on behalf of ``B`` lanes and
+carries everything that can differ per lane — thermal network state, sensor
+crossing counters, peak temperatures, EWMA banks, noise streams, and the
+full DTM policy state (:class:`~repro.sim.cohort.LaneDTM`) — as
+structure-of-arrays NumPy state advanced in lock step at the shared
+sample/sensor boundaries.
 
 The contract is the fast path's: results **byte-identical** to the scalar
 :class:`~repro.sim.simulator.Simulator` (same RunResult JSON, same cache
@@ -21,23 +23,24 @@ episode derivation is untouched).  Exactness is by construction:
   group* whose packed state advances with the very expression
   ``E(dt) @ state + F(dt) @ source`` the scalar model applies — same
   cached propagators, same float operations, same bits;
-* EWMA updates and threshold-crossing detection are elementwise float
-  comparisons with the scalar expressions, which are IEEE-identical
-  whether applied to one value or an array.
+* EWMA updates, threshold-crossing detection, and every DTM transition are
+  elementwise float comparisons with the scalar expressions, which are
+  IEEE-identical whether applied to one value or an array.
 
-**Divergence.**  The moment a lane's policy *would* take any action the
-scalar simulator could observe — a stop-and-go/DVFS/fetch-gating engage at
-the emergency point, a TTDFS slowdown step above its tracking threshold, a
-sedation (upper threshold crossed with ≥ 2 candidate threads) or its
-safety net — that lane is **ejected** from the batch and deferred to the
-scalar simulator, which re-runs it from cycle 0.  Ejection triggers are
-evaluated on the lane's own reported (noise-included) temperatures at the
-same sensor boundary the scalar policy would have acted on, so lanes that
-*stay* batched are exactly the runs whose policies never fire — the
-SPEC-pair sweeps of §5.5–§5.7, solo runs, and the quiet arms of every
-threshold sweep.  Attack lanes eject at their first trigger; correctness
-is preserved and the batch still amortizes the shared prefix of the quiet
-lanes.
+**Divergence.**  When a lane's policy takes a *pipeline-visible* action —
+a stop-and-go/safety-net stall, a DVFS/TTDFS/fetch-gating slowdown or
+power-scale step, a sedation or release changing the per-thread actuation
+flags (see :mod:`repro.sim.cohort` for the contract) — lanes whose visible
+state still agrees can keep sharing a pipeline, and lanes that disagree no
+longer can.  The batch therefore runs as a worklist of **cohorts**: at
+every sensor boundary each cohort evaluates all its lanes' policies; if the
+resulting visible tuples differ, the cohort splits — the largest partition
+keeps the live pipeline, the others resume from a snapshot of the shared
+state at the boundary — and every child continues in lock step.  Nothing is
+ever re-run from cycle 0: an attack sweep whose lanes engage at five
+different thresholds costs roughly six cohort segments instead of ``B``
+scalar re-runs, and lanes with *identical* action histories (e.g. the
+same engage/release cycles) never separate at all.
 
 :func:`~repro.sim.parallel.run_many` uses this as its middle execution
 tier: cache hit → lock-step batch groups (grouped by
@@ -62,6 +65,7 @@ from ..perf import PerfCounters
 from ..power import EnergyModel, PowerAccountant
 from ..thermal import RCThermalModel
 from ..thermal.sensors import BatchCrossingDetector
+from .cohort import CODE_SEDATION, Cohort, LaneDTM, NetworkGroup, network_key
 from .simulator import build_pipeline
 from .stats import RunResult, ThreadStats
 
@@ -69,9 +73,6 @@ from .stats import RunResult, ThreadStats
 #: changes (a new config field that influences the shared pipeline must be
 #: added to the fingerprint payload, and vice versa).
 BATCH_SCHEMA = 1
-
-#: Sentinel threshold for "this lane never ejects" (ideal policy).
-_NEVER = float("inf")
 
 
 def batch_fingerprint(spec) -> str | None:
@@ -119,76 +120,20 @@ def batch_fingerprint(spec) -> str | None:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-def _network_key(thermal) -> str:
-    """Grouping key for lanes that share one RC thermal network.
-
-    Everything in the thermal config feeds the network except the sensor
-    fields: noise perturbs only *reported* values (per lane), and the
-    sensor interval is already batch-shared.  Built by deletion, so a new
-    ThermalConfig field lands in the key (= splits groups) by default.
-    """
-    payload = dataclasses.asdict(thermal)
-    del payload["sensor_noise_k"]
-    del payload["sensor_noise_seed"]
-    del payload["sensor_interval"]
-    return json.dumps(payload, sort_keys=True)
-
-
-class _NetworkGroup:
-    """One shared RC network: lanes with equal thermal configs.
-
-    All lanes of a group observe the same block powers (one pipeline), so
-    they share a single packed-state trajectory — the group advances one
-    state vector, not one per lane.
-    """
-
-    __slots__ = ("model", "state", "ideal", "advances", "lanes", "live")
-
-    def __init__(self, model: RCThermalModel) -> None:
-        self.model = model
-        self.state = model.state_vector()
-        self.ideal = model.package.ideal
-        self.advances = 0
-        self.lanes: list[int] = []
-        self.live = True
-
-
-def _lane_triggers(config: SimulationConfig) -> tuple[float, bool, float]:
-    """(emergency-eject threshold, strict compare?, sedation-upper) per lane.
-
-    The ejection point for each policy is the *first* sensor reading at
-    which the scalar policy would change any observable state:
-
-    * ``ideal`` never acts;
-    * ``stop_and_go``/``dvfs``/``fetch_gating`` engage at
-      ``hottest >= emergency_k``;
-    * ``ttdfs`` steps its slowdown at ``hottest > emergency_k - 1.0`` (its
-      tracking threshold; engagements increment on the first step);
-    * ``sedation`` sedates at ``any block >= upper_threshold_k`` *iff* at
-      least two candidate threads exist (the last unsedated thread is
-      never sedated), and its stop-and-go safety net engages at
-      ``hottest >= emergency_k`` regardless.
-    """
-    policy = config.dtm_policy
-    emergency = config.thermal.emergency_k
-    if policy == "ideal":
-        return _NEVER, False, _NEVER
-    if policy == "ttdfs":
-        return emergency - 1.0, True, _NEVER
-    if policy == "sedation":
-        return emergency, False, config.sedation.upper_threshold_k
-    # stop_and_go, dvfs, fetch_gating: engage at the emergency point.
-    return emergency, False, _NEVER
-
-
-def simulate_lockstep(specs) -> tuple[dict[int, RunResult], list[int]]:
-    """Advance every spec in lock step; eject lanes whose DTM would act.
+def simulate_lockstep(
+    specs, metrics: dict | None = None
+) -> tuple[dict[int, RunResult], list[int]]:
+    """Advance every spec in lock step, splitting cohorts as policies act.
 
     ``specs`` must all share one :func:`batch_fingerprint`.  Returns
-    ``(results, deferred)``: ``results`` maps input index → RunResult for
-    lanes that ran quiet to the end of the quantum (byte-identical to the
-    scalar simulator); ``deferred`` lists the indices of ejected lanes,
-    which the caller must re-run through the scalar path.
+    ``(results, deferred)``: ``results`` maps input index → RunResult,
+    byte-identical to the scalar simulator, for **every** lane — acting
+    lanes are carried by cohort splitting, so ``deferred`` is always empty
+    (kept for interface stability with the scalar-fallback caller).
+
+    ``metrics``, when given, receives batch-shape diagnostics: ``lanes``
+    (input width), ``cohorts`` (lock-step groups at completion), and
+    ``splits`` (divergence events where a cohort partitioned).
     """
     spec_list = list(specs)
     if not spec_list:
@@ -215,7 +160,7 @@ def simulate_lockstep(specs) -> tuple[dict[int, RunResult], list[int]]:
         raise SimulationError("quantum must be positive")
     workload_names = tuple(base.workloads)
 
-    # -- shared pipeline (one core, one accountant, for every lane) --------
+    # -- shared pipeline (one core, one accountant, for the root cohort) ---
     core = build_pipeline(config0, list(workload_names))
     energy = EnergyModel.default()
     accountant = PowerAccountant(core, energy, config0.thermal.frequency_hz)
@@ -224,21 +169,17 @@ def simulate_lockstep(specs) -> tuple[dict[int, RunResult], list[int]]:
     )
 
     # -- per-network-group thermal state -----------------------------------
-    groups: dict[str, _NetworkGroup] = {}
-    lane_group: list[_NetworkGroup] = []
-    for index, spec in enumerate(spec_list):
-        key = _network_key(spec.config.thermal)
-        group = groups.get(key)
-        if group is None:
-            group = _NetworkGroup(
+    groups: dict[str, NetworkGroup] = {}
+    group_keys: list[str] = []
+    for spec in spec_list:
+        key = network_key(spec.config.thermal)
+        if key not in groups:
+            groups[key] = NetworkGroup(
                 RCThermalModel(spec.config.thermal, None, energy)
             )
-            groups[key] = group
-        group.lanes.append(index)
-        lane_group.append(group)
-    group_list = list(groups.values())
+        group_keys.append(key)
 
-    # -- per-lane sensor/detector/trigger state ----------------------------
+    # -- per-lane sensor and DTM state -------------------------------------
     noise_sources: list[tuple | None] = []
     for spec in spec_list:
         thermal = spec.config.thermal
@@ -251,96 +192,240 @@ def simulate_lockstep(specs) -> tuple[dict[int, RunResult], list[int]]:
         np.array([s.config.thermal.emergency_k for s in spec_list]),
         # The scalar bank seeds its peak with the warm-start temperatures.
         np.array(
-            [float(np.max(g.model.temperatures())) for g in lane_group]
+            [
+                float(np.max(groups[key].model.temperatures()))
+                for key in group_keys
+            ]
         ),
     )
-    trigger_rows = [_lane_triggers(spec.config) for spec in spec_list]
-    eject_at = np.array([row[0] for row in trigger_rows])
-    eject_strict = np.array([row[1] for row in trigger_rows], dtype=bool)
-    sedation_upper = np.array([row[2] for row in trigger_rows])
-
-    active = np.ones(lanes, dtype=bool)
-    deferred: list[int] = []
+    # Expected cooling time per lane — the scalar Simulator's derivation:
+    # configured override, else 1.5 thermal time constants in cycles.
+    cooling_cycles = [
+        spec.config.sedation.expected_cooling_cycles
+        if spec.config.sedation.expected_cooling_cycles is not None
+        else spec.config.thermal.cycles_from_seconds(
+            groups[key].model.expected_cooling_seconds()
+        )
+        for spec, key in zip(spec_list, group_keys, strict=True)
+    ]
+    dtm = LaneDTM(
+        [spec.config for spec in spec_list], cooling_cycles, len(core.threads)
+    )
 
     sample_interval = config0.sedation.sample_interval
     sensor_interval = config0.thermal.sensor_interval
     seconds_per_cycle = config0.thermal.seconds_per_cycle
-    target = quantum
-    next_sample = sample_interval
-    next_sensor = sensor_interval
-    last_thermal = 0
-    temps = np.empty((lanes, NUM_BLOCKS))
 
-    # -- the lock-step loop: the scalar run loop's quiet path --------------
-    while core.cycle < target and active.any():
-        boundary = min(next_sample, next_sensor, target)
-        span = boundary - core.cycle
-        if span > 0:
-            core.run_cycles(span)
-            for thread in core.threads:
-                thread.cycles_normal += span
-        if core.cycle >= next_sample:
-            monitor.sample()
-            next_sample += sample_interval
-        if core.cycle >= next_sensor:
-            cycles = core.cycle - last_thermal
-            if cycles > 0:
-                powers = accountant.block_powers(1.0)
-                dt = cycles * seconds_per_cycle
-                for group in group_list:
-                    if group.ideal or not group.live:
-                        continue
-                    state_prop, input_prop = group.model.propagator(dt)
-                    source = group.model.source_vector(powers)
-                    # The exact scalar advance expression, applied to the
-                    # group's packed state: same operands, same bits.
-                    group.state = (
-                        state_prop @ group.state + input_prop @ source
-                    )
-                    group.advances += 1
-                last_thermal = core.cycle
-            for index in range(lanes):
-                if not active[index]:
-                    continue
-                group = lane_group[index]
-                if group.ideal:
-                    temps[index] = group.model.t_block
-                else:
-                    temps[index] = group.state[:NUM_BLOCKS]
-                noise = noise_sources[index]
-                if noise is not None:
-                    gauss, sigma = noise
-                    row = temps[index]
-                    for block in range(NUM_BLOCKS):
-                        row[block] += gauss(0.0, sigma)
-            # Inactive lanes keep stale rows; their counters are discarded.
-            detector.observe(temps)
-            hottest = temps.max(axis=1)
-            eject = np.where(
-                eject_strict, hottest > eject_at, hottest >= eject_at
-            )
-            candidates = sum(
-                1
-                for t in core.threads
-                if not t.sedated and not t.throttle_modulus and not t.halted
-            )
-            if candidates >= 2:
-                eject |= (temps >= sedation_upper[:, None]).any(axis=1)
-            eject &= active
-            if eject.any():
-                active &= ~eject
-                for index in np.flatnonzero(eject):
-                    deferred.append(int(index))
-                for group in group_list:
-                    group.live = any(active[i] for i in group.lanes)
-            next_sensor += sensor_interval
+    root = Cohort(
+        np.arange(lanes, dtype=np.int64),
+        core,
+        accountant,
+        monitor,
+        detector,
+        noise_sources,
+        dtm,
+        groups,
+        group_keys,
+        next_sample=sample_interval,
+        next_sensor=sensor_interval,
+    )
+
+    # -- the worklist: advance cohorts, splitting at visible divergence ----
+    splits = 0
+    finished: list[Cohort] = []
+    worklist: list[Cohort] = [root]
+    while worklist:
+        cohort = worklist.pop()
+        children = _advance_cohort(
+            cohort, quantum, sample_interval, sensor_interval,
+            seconds_per_cycle,
+        )
+        if children is None:
+            finished.append(cohort)
+        else:
+            splits += 1
+            worklist.extend(children)
 
     wall_seconds = time.perf_counter() - wall_start  # repro: noqa(RPR001) perf diagnostics only
-    results: dict[int, RunResult] = {}
-    if not active.any():
-        return results, sorted(deferred)
+    if metrics is not None:
+        metrics["lanes"] = lanes
+        metrics["cohorts"] = len(finished)
+        metrics["splits"] = splits
 
-    # -- per-lane result assembly (the scalar _collect, zero baselines) ----
+    # Wall time is amortized evenly over the lanes: the honest per-run cost
+    # of the batch (PerfCounters are compare=False diagnostics; every
+    # simulated counter below is per-run exact, not a batch total).
+    results: dict[int, RunResult] = {}
+    wall_share = wall_seconds / lanes
+    for cohort in finished:
+        _collect_cohort(cohort, spec_list, workload_names, wall_share, results)
+    return results, []
+
+
+def _advance_cohort(
+    cohort: Cohort,
+    target: int,
+    sample_interval: int,
+    sensor_interval: int,
+    seconds_per_cycle: float,
+) -> list[Cohort] | None:
+    """Run one cohort to the end of the quantum or its next divergence.
+
+    The scalar run loop — stall branch and boundary branch — applied to the
+    cohort's shared pipeline, with every per-lane quantity evaluated on the
+    SoA banks.  Returns ``None`` when the cohort reached ``target`` intact,
+    or the list of child cohorts when its lanes' visible state diverged at
+    a sensor boundary.
+    """
+    core = cohort.core
+    accountant = cohort.accountant
+    monitor = cohort.monitor
+    dtm = cohort.dtm
+    width = cohort.width
+    temps = np.empty((width, NUM_BLOCKS))
+    group_list = list(cohort.groups.values())
+
+    while core.cycle < target:
+        if cohort.stalled:
+            chunk = min(sensor_interval, target - core.cycle)
+            core.skip_cycles(chunk)
+            powers = accountant.idle_powers(chunk)
+            _advance_groups(cohort, group_list, powers, seconds_per_cycle)
+            monitor.skip()
+            for thread in core.threads:
+                thread.cycles_cooling += chunk
+            _sample_sensors(cohort, temps)
+            changed = dtm.on_sensor_stalled(temps.max(axis=1))
+            # The stall supersedes the grids: both restart from here.
+            cohort.next_sample = core.cycle + sample_interval
+            cohort.next_sensor = core.cycle + sensor_interval
+            if changed:
+                partitions = _partition(dtm, width)
+                if len(partitions) > 1:
+                    return cohort.split(partitions)
+                cohort.adopt_visible()
+            continue
+
+        boundary = min(cohort.next_sample, cohort.next_sensor, target)
+        span = boundary - core.cycle
+        if span > 0:
+            _run_span(core, cohort.slowdown, span)
+        if core.cycle >= cohort.next_sample:
+            frozen = None
+            if any(thread.sedated for thread in core.threads):
+                frozen = np.array(
+                    [thread.sedated for thread in core.threads], dtype=bool
+                )
+            monitor.sample(frozen)
+            cohort.next_sample += sample_interval
+        if core.cycle >= cohort.next_sensor:
+            powers = accountant.block_powers(cohort.power_scale)
+            _advance_groups(cohort, group_list, powers, seconds_per_cycle)
+            _sample_sensors(cohort, temps)
+            halted = [thread.halted for thread in core.threads]
+            changed = dtm.on_sensor(
+                core.cycle, temps, temps.max(axis=1), halted,
+                monitor.bank.values,
+            )
+            cohort.next_sensor += sensor_interval
+            if changed:
+                partitions = _partition(dtm, width)
+                if len(partitions) > 1:
+                    return cohort.split(partitions)
+                cohort.adopt_visible()
+    return None
+
+
+def _run_span(core, slowdown: int, span: int) -> None:
+    """The scalar ``Simulator._run_span``, driven by the cohort's slowdown."""
+    if slowdown > 1:
+        active = span // slowdown
+        throttled = span - active
+        if active:
+            core.run_cycles(active)
+        if throttled:
+            core.skip_cycles(throttled)
+        for thread in core.threads:
+            thread.cycles_cooling += throttled
+            if thread.sedated:
+                thread.cycles_sedated += active
+            else:
+                thread.cycles_normal += active
+        return
+    core.run_cycles(span)
+    for thread in core.threads:
+        if thread.sedated:
+            thread.cycles_sedated += span
+        else:
+            thread.cycles_normal += span
+
+
+def _advance_groups(
+    cohort: Cohort,
+    group_list: list[NetworkGroup],
+    powers: list[float],
+    seconds_per_cycle: float,
+) -> None:
+    """Advance every network group over the cycles since the last advance."""
+    cycle = cohort.core.cycle
+    cycles = cycle - cohort.last_thermal
+    if cycles <= 0:
+        return
+    dt = cycles * seconds_per_cycle
+    for group in group_list:
+        if group.ideal:
+            continue
+        state_prop, input_prop = group.model.propagator(dt)
+        source = group.model.source_vector(powers)
+        # The exact scalar advance expression, applied to the group's
+        # packed state: same operands, same bits.
+        group.state = state_prop @ group.state + input_prop @ source
+        group.advances += 1
+    cohort.last_thermal = cycle
+
+
+def _sample_sensors(cohort: Cohort, temps: np.ndarray) -> None:
+    """Fill ``temps`` with every lane's reported reading; record crossings.
+
+    Noise draws consume each lane's private RNG in the scalar order (one
+    Gaussian per block per boundary), so a lane's noise stream is identical
+    whichever cohort it currently rides in.
+    """
+    groups = cohort.groups
+    for position, key in enumerate(cohort.group_keys):
+        group = groups[key]
+        if group.ideal:
+            temps[position] = group.model.t_block
+        else:
+            temps[position] = group.state[:NUM_BLOCKS]
+        noise = cohort.noise[position]
+        if noise is not None:
+            gauss, sigma = noise
+            row = temps[position]
+            for block in range(NUM_BLOCKS):
+                row[block] += gauss(0.0, sigma)
+    cohort.detector.observe(temps)
+
+
+def _partition(dtm: LaneDTM, width: int) -> list[list[int]]:
+    """Group lane positions by visible key, in first-occurrence order."""
+    partitions: dict[tuple, list[int]] = {}
+    for position in range(width):
+        partitions.setdefault(dtm.visible_key(position), []).append(position)
+    return list(partitions.values())
+
+
+def _collect_cohort(
+    cohort: Cohort,
+    spec_list: list,
+    workload_names: tuple[str, ...],
+    wall_share: float,
+    results: dict[int, RunResult],
+) -> None:
+    """Per-lane result assembly (the scalar ``_collect``, zero baselines)."""
+    core = cohort.core
+    dtm = cohort.dtm
+    detector = cohort.detector
     cycles = core.cycle
     idle_skipped = core.perf_idle_skipped
     stall_skipped = core.perf_stall_skipped
@@ -358,13 +443,9 @@ def simulate_lockstep(specs) -> tuple[dict[int, RunResult], list[int]]:
         )
         for t in core.threads
     )
-    # Wall time is amortized evenly over the completed lanes: the honest
-    # per-run cost of the batch (PerfCounters are compare=False diagnostics;
-    # every simulated counter below is per-run exact, not a batch total).
-    wall_share = wall_seconds / int(active.sum())
-    for index in np.flatnonzero(active):
-        index = int(index)
-        group = lane_group[index]
+    for position, lane in enumerate(cohort.lanes):
+        lane = int(lane)
+        group = cohort.groups[cohort.group_keys[position]]
         perf = PerfCounters(
             cycles=cycles,
             stepped_cycles=cycles - idle_skipped - stall_skipped,
@@ -374,21 +455,24 @@ def simulate_lockstep(specs) -> tuple[dict[int, RunResult], list[int]]:
             thermal_advances=group.advances,
             propagator_builds=group.model.perf_propagator_builds,
         )
-        results[index] = RunResult(
+        is_sedation = int(dtm.code[position]) == CODE_SEDATION
+        results[lane] = RunResult(
             workloads=workload_names,
-            policy=spec_list[index].config.dtm_policy,
+            policy=spec_list[lane].config.dtm_policy,
             cycles=cycles,
             threads=threads,
-            emergencies=int(detector.total_emergencies[index]),
+            emergencies=int(detector.total_emergencies[position]),
             emergencies_per_block=tuple(
-                int(count) for count in detector.emergencies_per_block[index]
+                int(count)
+                for count in detector.emergencies_per_block[position]
             ),
-            peak_temperature_k=float(detector.peak_k[index]),
-            sedations=0,
-            safety_net_engagements=0,
-            stall_engagements=0,
+            peak_temperature_k=float(detector.peak_k[position]),
+            sedations=int(dtm.sedations[position]) if is_sedation else 0,
+            safety_net_engagements=(
+                int(dtm.safety_nets[position]) if is_sedation else 0
+            ),
+            stall_engagements=int(dtm.engagements[position]),
             trace=(),
             perf=perf,
             telemetry=None,
         )
-    return results, sorted(deferred)

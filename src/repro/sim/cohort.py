@@ -1,0 +1,607 @@
+"""Cohorts: lock-step lane groups with vectorized DTM state.
+
+The batch engine (:mod:`repro.sim.batch`) runs one SMT pipeline on behalf
+of many config-variant lanes.  That is sound exactly as long as every lane
+would drive the pipeline identically — and a DTM action is the one thing
+that breaks it.  This module carries the full per-lane DTM state as
+structure-of-arrays NumPy banks (:class:`LaneDTM`) and defines the
+**pipeline-visible divergence contract** that decides when lanes can no
+longer share a pipeline:
+
+*Pipeline-visible state* is everything the scalar run loop or the shared
+power accountant consumes:
+
+* ``stalled`` — the policy's global stall flag (stop-and-go, sedation's
+  safety net), which selects the run loop's skip branch;
+* ``slowdown`` — the DVFS/TTDFS/fetch-gating frequency divisor, which
+  changes how a span is split into run and skip cycles;
+* ``power_scale`` — the dynamic-power factor handed to
+  ``PowerAccountant.block_powers`` (the accountant advances its snapshot
+  once per boundary, so lanes sharing it must agree on the scale);
+* the per-thread ``sedated`` / ``throttle`` actuation flags, which gate
+  fetch inside the pipeline.
+
+Everything else a policy owns — engagement counters, TTDFS's running peak,
+the sedation controller's per-resource FSM states, deadlines, and
+culprit-membership sets — is *invisible*: it influences nothing until it
+changes one of the visible knobs, so it rides along per lane without
+constraining the batch.
+
+A :class:`Cohort` is a set of lanes whose visible state (and therefore
+whole visible *history*) is identical.  At every sensor boundary the bank
+evaluates the exact scalar policy expressions per lane; if the resulting
+visible tuples disagree, the cohort **splits**: lanes are partitioned by
+:meth:`LaneDTM.visible_key`, the largest partition keeps the live pipeline,
+and every other partition deep-copies the pipeline/accountant at the
+boundary — a snapshot of the shared prefix — and continues as its own
+(possibly width-1) lock-step group.  Nothing ever restarts from cycle 0.
+
+Exactness is by construction: the transition expressions below are the
+scalar policies' own comparisons applied elementwise (see each policy's
+module), culprit selection replays :func:`repro.core.detector.identify_culprit`
+against the lane's EWMA bank values, and the sedation FSM is a line-by-line
+mirror of :class:`repro.core.sedation.SelectiveSedationController` minus
+telemetry/fault hooks (batch lanes carry neither).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import json
+
+import numpy as np
+
+from ..blocks import NUM_BLOCKS
+from ..core.sedation import SEDATION_IDLE, SEDATION_WAITING
+from ..dtm.dvfs import DEFAULT_SLOWDOWN, DEFAULT_VOLTAGE_RATIO
+from ..dtm.ttdfs import (
+    DEFAULT_DEGREES_PER_STEP,
+    DEFAULT_MAX_SLOWDOWN,
+    TRACKING_OFFSET_K,
+)
+from ..thermal import RCThermalModel
+
+#: Policy-name → lane code (int8 column of the bank).  The codes gate every
+#: vector transition below, so a lane only ever evaluates its own policy.
+POLICY_CODES = {
+    "ideal": 0,
+    "stop_and_go": 1,
+    "dvfs": 2,
+    "ttdfs": 3,
+    "fetch_gating": 4,
+    "sedation": 5,
+}
+
+CODE_IDEAL = POLICY_CODES["ideal"]
+CODE_STOP_AND_GO = POLICY_CODES["stop_and_go"]
+CODE_DVFS = POLICY_CODES["dvfs"]
+CODE_TTDFS = POLICY_CODES["ttdfs"]
+CODE_FETCH_GATING = POLICY_CODES["fetch_gating"]
+CODE_SEDATION = POLICY_CODES["sedation"]
+
+#: ndarray attributes of :class:`LaneDTM`, sliced wholesale on a split.
+_ARRAY_FIELDS = (
+    "code",
+    "emergency",
+    "resume",
+    "dvfs_slowdown",
+    "dvfs_power",
+    "ttdfs_tracking",
+    "ttdfs_degrees",
+    "ttdfs_max",
+    "peak_seen",
+    "sed_upper",
+    "sed_lower",
+    "sed_wait",
+    "sed_throttle_mode",
+    "sed_modulus",
+    "sed_state",
+    "sed_deadline",
+    "stalled",
+    "slowdown",
+    "power_scale",
+    "sedated",
+    "throttle",
+    "engagements",
+    "sedations",
+    "releases",
+    "safety_nets",
+)
+
+
+def network_key(thermal) -> str:
+    """Grouping key for lanes that share one RC thermal network.
+
+    Everything in the thermal config feeds the network except the sensor
+    fields: noise perturbs only *reported* values (per lane), and the
+    sensor interval is already batch-shared.  Built by deletion, so a new
+    ThermalConfig field lands in the key (= splits groups) by default.
+    """
+    payload = dataclasses.asdict(thermal)
+    del payload["sensor_noise_k"]
+    del payload["sensor_noise_seed"]
+    del payload["sensor_interval"]
+    return json.dumps(payload, sort_keys=True)
+
+
+class NetworkGroup:
+    """One shared RC network: lanes with equal thermal configs.
+
+    All lanes of a group observe the same block powers (one pipeline per
+    cohort), so they share a single packed-state trajectory — the group
+    advances one state vector, not one per lane.
+    """
+
+    __slots__ = ("model", "state", "ideal", "advances")
+
+    def __init__(self, model: RCThermalModel) -> None:
+        self.model = model
+        self.state = model.state_vector()
+        self.ideal = model.package.ideal
+        self.advances = 0
+
+    def fork(self) -> "NetworkGroup":
+        """Independent continuation for a split-off cohort.
+
+        The model fork shares the solved eigenbasis but owns its propagator
+        cache and perf counters from here on — exactly the cache/counter
+        state a scalar run would hold at the split cycle.
+        """
+        clone = NetworkGroup.__new__(NetworkGroup)
+        clone.model = self.model.fork()
+        clone.state = self.state.copy()
+        clone.ideal = self.ideal
+        clone.advances = self.advances
+        return clone
+
+
+class LaneDTM:
+    """Structure-of-arrays DTM state for the lanes of one cohort.
+
+    One row per lane; columns hold the parameters and mutable state of
+    *whichever* policy that lane runs (unused columns stay at their
+    defaults).  Transition evaluation applies the scalar policies' exact
+    expressions under per-policy code masks, so adding a lane of a
+    different policy to the cohort costs one more row, not a new code path.
+    """
+
+    def __init__(self, configs, cooling_cycles, num_threads: int) -> None:
+        lanes = len(configs)
+        self.code = np.array(
+            [POLICY_CODES[config.dtm_policy] for config in configs],
+            dtype=np.int8,
+        )
+        self.emergency = np.array(
+            [config.thermal.emergency_k for config in configs]
+        )
+        self.resume = np.array(
+            [config.thermal.normal_operating_k for config in configs]
+        )
+        self.dvfs_slowdown = np.full(lanes, DEFAULT_SLOWDOWN, dtype=np.int64)
+        self.dvfs_power = np.full(
+            lanes, DEFAULT_VOLTAGE_RATIO * DEFAULT_VOLTAGE_RATIO
+        )
+        self.ttdfs_tracking = self.emergency - TRACKING_OFFSET_K
+        self.ttdfs_degrees = np.full(lanes, DEFAULT_DEGREES_PER_STEP)
+        self.ttdfs_max = np.full(lanes, DEFAULT_MAX_SLOWDOWN, dtype=np.int64)
+        self.peak_seen = np.zeros(lanes)
+        self.sed_upper = np.array(
+            [config.sedation.upper_threshold_k for config in configs]
+        )
+        self.sed_lower = np.array(
+            [config.sedation.lower_threshold_k for config in configs]
+        )
+        # The scalar controller clamps the derived cooling time to >= 1 and
+        # truncates the multiplied wait once; both are constants per run.
+        self.sed_wait = np.array(
+            [
+                int(config.sedation.cooling_wait_multiplier * max(1, cycles))
+                for config, cycles in zip(
+                    configs, cooling_cycles, strict=True
+                )
+            ],
+            dtype=np.int64,
+        )
+        self.sed_throttle_mode = np.array(
+            [config.sedation.sedation_mode == "throttle" for config in configs],
+            dtype=bool,
+        )
+        self.sed_modulus = np.array(
+            [config.sedation.throttle_modulus for config in configs],
+            dtype=np.int64,
+        )
+        self.sed_state = np.full(
+            (lanes, NUM_BLOCKS), SEDATION_IDLE, dtype=np.int8
+        )
+        self.sed_deadline = np.zeros((lanes, NUM_BLOCKS), dtype=np.int64)
+        #: per-lane, per-block culprit membership — the scalar controller's
+        #: ``_sedated_for`` sets, one copy per lane.
+        self.sedated_for: list[list[set[int]]] = [
+            [set() for _ in range(NUM_BLOCKS)] for _ in range(lanes)
+        ]
+        # Pipeline-visible state (the cohort invariant: identical rows).
+        self.stalled = np.zeros(lanes, dtype=bool)
+        self.slowdown = np.ones(lanes, dtype=np.int64)
+        self.power_scale = np.ones(lanes)
+        self.sedated = np.zeros((lanes, num_threads), dtype=bool)
+        self.throttle = np.zeros((lanes, num_threads), dtype=np.int64)
+        # Counters surfaced in RunResult (exact scalar semantics: DTM
+        # engagements of any policy report as stall_engagements).
+        self.engagements = np.zeros(lanes, dtype=np.int64)
+        self.sedations = np.zeros(lanes, dtype=np.int64)
+        self.releases = np.zeros(lanes, dtype=np.int64)
+        self.safety_nets = np.zeros(lanes, dtype=np.int64)
+
+    # -- transition evaluation ---------------------------------------------
+
+    def on_sensor_stalled(self, hottest: np.ndarray) -> bool:
+        """Stalled-cohort boundary: the resume check, nothing else.
+
+        Only stop-and-go and sedation lanes can be in a stalled cohort, and
+        both do exactly ``hottest <= resume_k → disengage`` while stalled.
+        Returns True when any lane's visible state changed.
+        """
+        resumed = self.stalled & (hottest <= self.resume)
+        if not resumed.any():
+            return False
+        self.stalled[resumed] = False
+        return True
+
+    def on_sensor(
+        self,
+        cycle: int,
+        temps: np.ndarray,
+        hottest: np.ndarray,
+        halted: list[bool],
+        ewma_values: np.ndarray,
+    ) -> bool:
+        """Unstalled-cohort boundary: every policy's exact engage logic.
+
+        ``temps``/``hottest`` are the lanes' *reported* (noise-included)
+        readings, ``ewma_values`` the monitor bank ``(lanes, threads,
+        blocks)``.  Returns True when any lane's visible state may have
+        changed (the caller then partitions by :meth:`visible_key`).
+        """
+        changed = False
+        code = self.code
+        throttled = self.slowdown > 1  # pre-boundary state, like the scalar
+
+        mask = (code == CODE_STOP_AND_GO) & (hottest >= self.emergency)
+        if mask.any():
+            self.stalled[mask] = True
+            self.engagements[mask] += 1
+            changed = True
+
+        is_dvfs = code == CODE_DVFS
+        mask = is_dvfs & throttled & (hottest <= self.resume)
+        if mask.any():
+            self.slowdown[mask] = 1
+            self.power_scale[mask] = 1.0
+            changed = True
+        mask = is_dvfs & ~throttled & (hottest >= self.emergency)
+        if mask.any():
+            self.slowdown[mask] = self.dvfs_slowdown[mask]
+            self.power_scale[mask] = self.dvfs_power[mask]
+            self.engagements[mask] += 1
+            changed = True
+
+        is_ttdfs = code == CODE_TTDFS
+        if is_ttdfs.any():
+            np.maximum(
+                self.peak_seen, hottest, out=self.peak_seen, where=is_ttdfs
+            )
+            over = hottest - self.ttdfs_tracking
+            mask = is_ttdfs & (over <= 0.0) & (self.slowdown != 1)
+            if mask.any():
+                self.slowdown[mask] = 1
+                self.power_scale[mask] = 1.0
+                changed = True
+            hot = np.flatnonzero(is_ttdfs & (over > 0.0))
+            if hot.size:
+                # int() truncation == floor for the positive values here.
+                steps = 1 + (
+                    over[hot] / self.ttdfs_degrees[hot]
+                ).astype(np.int64)
+                wanted = np.minimum(self.ttdfs_max[hot], 1 + steps)
+                delta = wanted != self.slowdown[hot]
+                if delta.any():
+                    moved = hot[delta]
+                    self.slowdown[moved] = wanted[delta]
+                    self.power_scale[moved] = 1.0
+                    self.engagements[moved] += 1
+                    changed = True
+
+        is_gating = code == CODE_FETCH_GATING
+        mask = is_gating & throttled & (hottest <= self.resume)
+        if mask.any():
+            self.slowdown[mask] = 1
+            changed = True
+        mask = is_gating & ~throttled & (hottest >= self.emergency)
+        if mask.any():
+            self.slowdown[mask] = 2
+            self.engagements[mask] += 1
+            changed = True
+
+        is_sedation = code == CODE_SEDATION
+        if is_sedation.any():
+            safety = is_sedation & (hottest >= self.emergency)
+            for lane in np.flatnonzero(safety):
+                self._safety_net(int(lane))
+                changed = True
+            calm = np.flatnonzero(is_sedation & ~safety)
+            if calm.size:
+                # Vector gate: a lane's FSM only has work when some block
+                # is WAITING or crosses its upper threshold while IDLE.
+                state = self.sed_state[calm]
+                busy = (
+                    (
+                        (state == SEDATION_IDLE)
+                        & (temps[calm] >= self.sed_upper[calm, None])
+                    )
+                    | (state == SEDATION_WAITING)
+                ).any(axis=1)
+                for lane in calm[busy]:
+                    lane = int(lane)
+                    if self._sedation_fsm(
+                        lane, cycle, temps[lane], halted, ewma_values[lane]
+                    ):
+                        changed = True
+        return changed
+
+    # -- the per-lane sedation FSM (scalar controller, minus telemetry) ----
+
+    def _sedation_fsm(
+        self,
+        lane: int,
+        cycle: int,
+        temps_row: np.ndarray,
+        halted: list[bool],
+        ewma_lane: np.ndarray,
+    ) -> bool:
+        upper = self.sed_upper[lane]
+        lower = self.sed_lower[lane]
+        wait = int(self.sed_wait[lane])
+        state = self.sed_state[lane]
+        deadline = self.sed_deadline[lane]
+        changed = False
+        for block in range(NUM_BLOCKS):
+            temperature = float(temps_row[block])
+            if state[block] == SEDATION_IDLE:
+                if temperature >= upper:
+                    if self._sedate_culprit(lane, block, halted, ewma_lane):
+                        state[block] = SEDATION_WAITING
+                        deadline[block] = cycle + wait
+                        changed = True
+            else:  # SEDATION_WAITING
+                if temperature <= lower:
+                    self._release_block(lane, block)
+                    changed = True
+                elif cycle >= deadline[block]:
+                    # Not cooling: another thread must also have a
+                    # power-density problem — sedate the next one.
+                    if self._sedate_culprit(lane, block, halted, ewma_lane):
+                        changed = True
+                    deadline[block] = cycle + wait
+        return changed
+
+    def _sedate_culprit(
+        self,
+        lane: int,
+        block: int,
+        halted: list[bool],
+        ewma_lane: np.ndarray,
+    ) -> bool:
+        sed_row = self.sedated[lane]
+        throttle_row = self.throttle[lane]
+        candidates = [
+            tid
+            for tid in range(len(sed_row))
+            if not sed_row[tid] and not throttle_row[tid] and not halted[tid]
+        ]
+        if len(candidates) < 2:
+            # The last unsedated thread cannot degrade any other thread:
+            # let it run; the stop-and-go safety net guards the emergency.
+            return False
+        best = -1
+        best_average = -1.0
+        for tid in candidates:
+            average = ewma_lane[tid, block]
+            if average > best_average:
+                best_average = average
+                best = tid
+        self.sedated_for[lane][block].add(best)
+        if self.sed_throttle_mode[lane]:
+            throttle_row[best] = self.sed_modulus[lane]
+        else:
+            sed_row[best] = True
+        self.sedations[lane] += 1
+        return True
+
+    def _release_block(self, lane: int, block: int) -> None:
+        sets = self.sedated_for[lane]
+        for tid in sorted(sets[block]):
+            sets[block].discard(tid)
+            if not any(tid in members for members in sets):
+                if self.sed_throttle_mode[lane]:
+                    self.throttle[lane][tid] = 0
+                else:
+                    self.sedated[lane][tid] = False
+            self.releases[lane] += 1
+        self.sed_state[lane][block] = SEDATION_IDLE
+
+    def _safety_net(self, lane: int) -> None:
+        """Emergency despite sedation: stall, release everyone, reset FSMs."""
+        self.stalled[lane] = True
+        self.engagements[lane] += 1
+        self.safety_nets[lane] += 1
+        sets = self.sedated_for[lane]
+        members: set[int] = set()
+        for block_members in sets:
+            members |= block_members
+        for tid in sorted(members):
+            if self.sed_throttle_mode[lane]:
+                self.throttle[lane][tid] = 0
+            else:
+                self.sedated[lane][tid] = False
+        for block in range(NUM_BLOCKS):
+            sets[block].clear()
+        self.sed_state[lane][:] = SEDATION_IDLE
+
+    # -- splitting ----------------------------------------------------------
+
+    def visible_key(self, pos: int) -> tuple:
+        """The pipeline-visible tuple partitioning lanes into cohorts."""
+        return (
+            bool(self.stalled[pos]),
+            int(self.slowdown[pos]),
+            float(self.power_scale[pos]),
+            self.sedated[pos].tobytes(),
+            self.throttle[pos].tobytes(),
+        )
+
+    def take(self, indices: np.ndarray) -> "LaneDTM":
+        """New bank carrying the selected lanes' rows (copies throughout)."""
+        clone = object.__new__(LaneDTM)
+        for name in _ARRAY_FIELDS:
+            setattr(clone, name, getattr(self, name)[indices])
+        clone.sedated_for = [
+            [set(members) for members in self.sedated_for[int(index)]]
+            for index in indices
+        ]
+        return clone
+
+
+class Cohort:
+    """One lock-step group: lanes with identical pipeline-visible history.
+
+    Owns one pipeline (+ power accountant), one usage-monitor bank, one
+    crossing detector, per-lane noise streams, the DTM bank, and one
+    thermal network group per distinct thermal config among its lanes.
+    ``lanes`` maps row position → original spec index.
+    """
+
+    __slots__ = (
+        "lanes",
+        "core",
+        "accountant",
+        "monitor",
+        "detector",
+        "noise",
+        "dtm",
+        "groups",
+        "group_keys",
+        "stalled",
+        "slowdown",
+        "power_scale",
+        "next_sample",
+        "next_sensor",
+        "last_thermal",
+    )
+
+    def __init__(
+        self,
+        lanes,
+        core,
+        accountant,
+        monitor,
+        detector,
+        noise,
+        dtm,
+        groups,
+        group_keys,
+        next_sample: int,
+        next_sensor: int,
+    ) -> None:
+        self.lanes = np.asarray(lanes, dtype=np.int64)
+        self.core = core
+        self.accountant = accountant
+        self.monitor = monitor
+        self.detector = detector
+        self.noise = list(noise)
+        self.dtm = dtm
+        self.groups = dict(groups)
+        self.group_keys = list(group_keys)
+        self.stalled = False
+        self.slowdown = 1
+        self.power_scale = 1.0
+        self.next_sample = next_sample
+        self.next_sensor = next_sensor
+        self.last_thermal = core.cycle
+
+    @property
+    def width(self) -> int:
+        return len(self.lanes)
+
+    def adopt_visible(self) -> None:
+        """Make the cohort (and its pipeline) match the bank's visible rows.
+
+        Callable only when every lane agrees (post-partition invariant), so
+        row 0 speaks for the cohort.  Thread flags are applied through the
+        core's own setters, exactly as the scalar controller would.
+        """
+        dtm = self.dtm
+        self.stalled = bool(dtm.stalled[0])
+        self.slowdown = int(dtm.slowdown[0])
+        self.power_scale = float(dtm.power_scale[0])
+        core = self.core
+        sed_row = dtm.sedated[0]
+        throttle_row = dtm.throttle[0]
+        for tid, thread in enumerate(core.threads):
+            wanted = bool(sed_row[tid])
+            if thread.sedated != wanted:
+                core.set_sedated(tid, wanted)
+            modulus = int(throttle_row[tid])
+            if thread.throttle_modulus != modulus:
+                core.set_throttled(tid, modulus)
+
+    def split(self, partitions: list[list[int]]) -> list["Cohort"]:
+        """Divide into one child per partition of lane positions.
+
+        The largest partition (first on ties) keeps the live pipeline,
+        accountant, thermal models, and propagator caches; every other
+        child deep-copies the pipeline state at this boundary — the shared
+        prefix becomes each child's own history.  All children are built
+        before any visible state is applied, so every copy snapshots the
+        same pre-divergence pipeline.
+        """
+        keeper = max(
+            range(len(partitions)), key=lambda index: len(partitions[index])
+        )
+        children = [
+            self._take(positions, reuse=index == keeper)
+            for index, positions in enumerate(partitions)
+        ]
+        for child in children:
+            child.adopt_visible()
+        return children
+
+    def _take(self, positions: list[int], reuse: bool) -> "Cohort":
+        indices = np.asarray(positions, dtype=np.int64)
+        child = Cohort.__new__(Cohort)
+        child.lanes = self.lanes[indices]
+        if reuse:
+            child.core = self.core
+            child.accountant = self.accountant
+        else:
+            # One deepcopy, shared memo: the copied accountant keeps
+            # pointing at the copied core.
+            child.core, child.accountant = copy.deepcopy(
+                (self.core, self.accountant)
+            )
+        child.monitor = self.monitor.take(indices, child.core)
+        child.detector = self.detector.take(indices)
+        child.noise = [self.noise[position] for position in positions]
+        child.dtm = self.dtm.take(indices)
+        child.group_keys = [self.group_keys[position] for position in positions]
+        child.groups = {}
+        for key in dict.fromkeys(child.group_keys):
+            group = self.groups[key]
+            child.groups[key] = group if reuse else group.fork()
+        child.stalled = self.stalled
+        child.slowdown = self.slowdown
+        child.power_scale = self.power_scale
+        child.next_sample = self.next_sample
+        child.next_sensor = self.next_sensor
+        child.last_thermal = self.last_thermal
+        return child

@@ -670,14 +670,14 @@ def _run_lockstep_groups(
 
     Groups the pending specs by :func:`~repro.sim.batch.batch_fingerprint`
     and runs each multi-spec group through
-    :func:`~repro.sim.batch.simulate_lockstep`.  Lanes that complete are
+    :func:`~repro.sim.batch.simulate_lockstep`.  Every lane of a group is
     booked directly into ``outcomes`` (byte-identical to the scalar path,
     so downstream caching and dedup behave as if the scalar simulator had
-    run); lanes the engine ejects — and the whole group, if the engine
-    fails or exceeds its time budget — simply stay unresolved and flow to
-    the scalar pool/serial path.  No attempt is ever booked here: the
-    batch tier is an accelerator, not an attempt, so retry budgets are
-    untouched.
+    run); acting lanes are retained in-batch by cohort splitting
+    (:mod:`repro.sim.cohort`), so only a whole-group engine failure or
+    time-budget overrun sends lanes back to the scalar pool/serial path.
+    No attempt is ever booked here: the batch tier is an accelerator, not
+    an attempt, so retry budgets are untouched.
     """
     groups: dict[str, list[tuple[str, RunSpec | CampaignSpec]]] = {}
     for key, spec in work:
@@ -690,6 +690,7 @@ def _run_lockstep_groups(
         specs = [spec for _, spec in members]
         RUNNER_METRICS.inc("runner.batch_groups")
         RUNNER_METRICS.inc("runner.batch_lanes", len(members))
+        batch_metrics: dict = {}
         try:
             if timeout is not None:
                 # One shared budget: the batch does at most the work of
@@ -698,7 +699,9 @@ def _run_lockstep_groups(
 
                 def _target(batch_specs: list = specs, out: list = box) -> None:
                     try:
-                        out.append(("ok", simulate_lockstep(batch_specs)))
+                        out.append(
+                            ("ok", simulate_lockstep(batch_specs, batch_metrics))
+                        )
                     except BaseException as error:  # noqa: BLE001
                         out.append(("error", error))
 
@@ -712,7 +715,7 @@ def _run_lockstep_groups(
                     raise value
                 lane_results, deferred = value
             else:
-                lane_results, deferred = simulate_lockstep(specs)
+                lane_results, deferred = simulate_lockstep(specs, batch_metrics)
         except Exception:
             RUNNER_METRICS.inc("runner.batch_errors")
             continue  # every lane falls back to the scalar path
@@ -720,6 +723,8 @@ def _run_lockstep_groups(
             outcomes[members[lane][0]] = result
         RUNNER_METRICS.inc("runner.batch_completed", len(lane_results))
         RUNNER_METRICS.inc("runner.batch_deferred", len(deferred))
+        RUNNER_METRICS.inc("runner.batch_cohorts", batch_metrics.get("cohorts", 0))
+        RUNNER_METRICS.inc("runner.batch_splits", batch_metrics.get("splits", 0))
 
 
 def run_many(

@@ -21,6 +21,7 @@ from ..core.reporting import OSReportLog
 from ..core.sedation import SelectiveSedationController
 from ..core.usage import UsageMonitor
 from ..dtm import DTMPolicy, DVFS, FetchGating, SedationPolicy, StopAndGo, TTDFS
+from ..dtm.ttdfs import TRACKING_OFFSET_K
 from ..errors import SimulationError
 from ..faults.injectors import SAMPLE_MISS, FaultController
 from ..perf import PerfCounters
@@ -152,7 +153,9 @@ class Simulator:
         if name == "dvfs":
             return DVFS(thermal.emergency_k, thermal.normal_operating_k)
         if name == "ttdfs":
-            return TTDFS(tracking_threshold_k=thermal.emergency_k - 1.0)
+            return TTDFS(
+                tracking_threshold_k=thermal.emergency_k - TRACKING_OFFSET_K
+            )
         if name == "fetch_gating":
             return FetchGating(thermal.emergency_k, thermal.normal_operating_k)
         if name == "sedation":

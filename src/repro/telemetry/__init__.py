@@ -34,6 +34,7 @@ from .metrics import Histogram, MetricsRegistry
 from .session import NULL_TELEMETRY, NullTelemetry, TelemetrySession
 from .summary import (
     FAULT_EVENT_TYPES,
+    batch_narrative,
     counts_by_type,
     fault_injection_counts,
     filter_events,
@@ -55,6 +56,7 @@ __all__ = [
     "NULL_TELEMETRY",
     "NullTelemetry",
     "TelemetrySession",
+    "batch_narrative",
     "counts_by_type",
     "FAULT_EVENT_TYPES",
     "fault_injection_counts",

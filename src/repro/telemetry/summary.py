@@ -161,8 +161,43 @@ def narrative(events: Iterable[Event]) -> list[str]:
     return lines
 
 
-def summarize(events: Iterable[Event]) -> str:
-    """Counts, episodes, and the narrative — the ``--summary`` report."""
+def batch_narrative(counters: dict[str, int]) -> list[str]:
+    """Human-readable lines describing the lock-step batch tier's shape.
+
+    ``counters`` is a flat counter mapping (e.g. ``RUNNER_METRICS.counters``
+    from :mod:`repro.sim.parallel`) using the ``runner.batch_*`` keys.
+    Returns no lines when the batch tier never ran — callers can append
+    the section unconditionally.
+    """
+    lanes = counters.get("runner.batch_lanes", 0)
+    if not lanes:
+        return []
+    groups = counters.get("runner.batch_groups", 0)
+    completed = counters.get("runner.batch_completed", 0)
+    deferred = counters.get("runner.batch_deferred", 0)
+    cohorts = counters.get("runner.batch_cohorts", 0)
+    splits = counters.get("runner.batch_splits", 0)
+    errors = counters.get("runner.batch_errors", 0)
+    lines = [
+        f"{lanes} lanes in {groups} lock-step groups -> {cohorts} cohorts "
+        f"({splits} divergence splits)",
+        f"retention {completed / lanes:.0%}: {completed} lanes completed "
+        f"in-batch, {deferred} deferred to the scalar path",
+    ]
+    if errors:
+        lines.append(f"{errors} group errors fell back to the scalar path")
+    return lines
+
+
+def summarize(
+    events: Iterable[Event], batch_counters: dict[str, int] | None = None
+) -> str:
+    """Counts, episodes, and the narrative — the ``--summary`` report.
+
+    ``batch_counters``, when provided (and the batch tier actually ran),
+    adds a "batch execution" section describing how the runs behind the
+    log were scheduled: lock-step groups, cohort splits, lane retention.
+    """
     events = list(events)
     lines = ["event counts:"]
     for name, count in counts_by_type(events).items():
@@ -205,6 +240,11 @@ def summarize(events: Iterable[Event]) -> str:
             )
             net = " [safety net]" if episode["safety_net"] else ""
             lines.append(f"  {span}{net}")
+    if batch_counters:
+        batch_lines = batch_narrative(batch_counters)
+        if batch_lines:
+            lines.append("batch execution:")
+            lines.extend("  " + line for line in batch_lines)
     story = narrative(events)
     if story:
         lines.append("narrative:")

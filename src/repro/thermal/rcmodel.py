@@ -37,6 +37,7 @@ physics demands, which is why the small register file is the natural target.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
@@ -239,6 +240,25 @@ class RCThermalModel:
         if dt_seconds <= 0:
             raise ThermalError("propagators need a positive interval")
         return self._propagator(dt_seconds)
+
+    def fork(self) -> "RCThermalModel":
+        """A trajectory-independent copy sharing the solved network.
+
+        The batch engine forks a lane group's model when a cohort splits:
+        children continue from the same history but must accumulate their
+        own propagator cache entries and perf counters from that point on
+        (exactly the cache a scalar run would hold at the split cycle).
+        The eigenbasis and resistances are immutable after construction and
+        stay shared; node temperatures are copied; the ``dt`` cache is a
+        fresh dict over the same immutable ``(E, F)`` pairs, so the 64-entry
+        clear threshold keeps counting per trajectory.
+        """
+        clone = copy.copy(self)
+        clone.t_block = self.t_block.copy()
+        clone.t_local = self.t_local.copy()
+        clone.t_deep = self.t_deep.copy()
+        clone._propagators = dict(self._propagators)
+        return clone
 
     def block_temperature(self, block: int) -> float:
         return float(self.t_block[block])

@@ -136,3 +136,18 @@ class BatchCrossingDetector:
         self.emergencies_per_block += crossings
         self.total_emergencies += crossings.sum(axis=1)
         self.peak_k = np.maximum(self.peak_k, temperatures.max(axis=1))
+
+    def take(self, indices: np.ndarray) -> "BatchCrossingDetector":
+        """New detector carrying the selected lanes' counters and edges.
+
+        Used when a cohort splits: every per-lane row (threshold, edge
+        state, counts, peak) moves to the child as a copy — fancy indexing
+        — so sibling cohorts never alias each other's crossing state.
+        """
+        clone = object.__new__(BatchCrossingDetector)
+        clone.emergency_k = self.emergency_k[indices]
+        clone._above_emergency = self._above_emergency[indices]
+        clone.emergencies_per_block = self.emergencies_per_block[indices]
+        clone.total_emergencies = self.total_emergencies[indices]
+        clone.peak_k = self.peak_k[indices]
+        return clone

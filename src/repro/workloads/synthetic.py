@@ -14,6 +14,7 @@ so runs are exactly reproducible.
 
 from __future__ import annotations
 
+import copy
 import random
 import zlib
 from math import log as _log
@@ -135,6 +136,23 @@ class SyntheticSource:
         else:
             self._next_burst = -1
         self.generated = 0
+
+    def __deepcopy__(self, memo: dict) -> "SyntheticSource":
+        # The hot-loop bindings above are bound *builtin* methods of the
+        # Random instance, and copy.deepcopy treats BuiltinFunctionType as
+        # atomic — a naive deepcopy would leave the clone's _random/_randrange
+        # pointing at the ORIGINAL's RNG, silently entangling the two streams.
+        # Cohort splitting in the batch kernel deep-copies a mid-run pipeline,
+        # so rebind them against the cloned RNG explicitly.
+        clone = object.__new__(type(self))
+        memo[id(self)] = clone
+        for key, value in self.__dict__.items():
+            if key in ("_random", "_randrange"):
+                continue
+            clone.__dict__[key] = copy.deepcopy(value, memo)
+        clone._random = clone._rng.random
+        clone._randrange = clone._rng.randrange
+        return clone
 
     # -- UopSource protocol -----------------------------------------------------
 

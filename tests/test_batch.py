@@ -112,8 +112,8 @@ class TestEquivalenceGate:
 
     @pytest.mark.parametrize("seed", [3, 17])
     def test_attack_pair_all_policies(self, seed):
-        # DTM policies fire under attack: acting lanes must eject and the
-        # end-to-end results still byte-match the scalar path.
+        # DTM policies fire under attack: acting lanes split into cohorts
+        # and the end-to-end results still byte-match the scalar path.
         base = tiny_config(seed=seed)
         assert_equivalent(
             [
@@ -185,21 +185,24 @@ class TestEquivalenceGate:
             ]
         )
 
-    def test_immediate_ejection_lane(self):
+    def test_immediate_divergence_lane_stays_batched(self):
         # Upper threshold below the warm-start temperature: the sedation
-        # lane must eject at the very first sensor boundary and still come
-        # back byte-identical through the scalar fallback.
+        # lane acts at the very first sensor boundary.  It must split off
+        # into its own cohort (not re-run from cycle 0) and still come back
+        # byte-identical to the scalar path.
         base = tiny_config()
         hair_trigger = base.with_policy("sedation").with_thresholds(350.0, 349.0)
         specs = [
             RunSpec(("gcc", "variant2"), base),
             RunSpec(("gcc", "variant2"), hair_trigger),
         ]
-        lane_results, deferred = simulate_lockstep(specs)
-        assert deferred == [1] and 0 in lane_results
+        metrics: dict = {}
+        lane_results, deferred = simulate_lockstep(specs, metrics)
+        assert deferred == []
+        assert sorted(lane_results) == [0, 1]
+        assert metrics["splits"] >= 1 and metrics["cohorts"] == 2
+        assert lane_results[1].sedations > 0
         assert_equivalent(specs)
-        scalar = run_many(specs, jobs=1, cache=False, batch=False)
-        assert scalar[1].sedations > 0
 
     def test_single_lane_group(self):
         spec = RunSpec(("gcc", "swim"), tiny_config())
@@ -226,6 +229,106 @@ class TestEquivalenceGate:
         other = RunSpec(("gcc", "swim"), tiny_config("stop_and_go"))
         results = run_many([spec, other, spec], jobs=1, cache=False, batch=True)
         assert results[0] is results[2]
+
+
+class TestCohortSplitting:
+    """Acting lanes stay batched: split at divergence, byte-identical."""
+
+    @pytest.mark.parametrize("attacker", ["variant2", "variant3"])
+    def test_two_phase_attack_all_policies(self, attacker):
+        # The moderate two-phase variants heat more slowly than variant1,
+        # so policies act mid-quantum at staggered boundaries.
+        base = tiny_config()
+        assert_equivalent(
+            [
+                RunSpec(("gcc", attacker), base.with_policy(p))
+                for p in POLICIES
+            ]
+        )
+
+    def test_sedation_threshold_sweep_acting_lanes(self):
+        # A hair-trigger threshold ladder: every step sedates at a
+        # different sensor boundary, so one batch splits repeatedly.
+        base = tiny_config()
+        specs = [
+            RunSpec(
+                ("gcc", "variant2"),
+                base.with_policy("sedation").with_thresholds(
+                    352.0 - 0.5 * step, 351.0 - 0.5 * step
+                ),
+            )
+            for step in range(4)
+        ]
+        specs.append(RunSpec(("gcc", "variant2"), base))
+        assert_equivalent(specs)
+
+    def test_emergency_threshold_sweep_stop_and_go(self):
+        # Lowering the emergency point staggers the engage boundary; each
+        # rung is one action timeline (and its own thermal network group).
+        base = tiny_config("stop_and_go")
+        specs = [
+            RunSpec(
+                ("gcc", "variant1"),
+                dataclasses.replace(
+                    base,
+                    thermal=dataclasses.replace(
+                        base.thermal,
+                        emergency_k=base.thermal.emergency_k - 0.5 * step,
+                    ),
+                ),
+            )
+            for step in range(3)
+        ]
+        assert_equivalent(specs)
+
+    def test_cohort_split_at_boundary_matches_scalar(self):
+        # Unit-level: three lanes share the pipeline until the attack
+        # triggers, then partition by visible action (stall vs slowdown vs
+        # quiet) into cohorts that each match an independent scalar run.
+        base = tiny_config()
+        specs = [
+            RunSpec(("gcc", "variant1"), base.with_policy("stop_and_go")),
+            RunSpec(("gcc", "variant1"), base.with_policy("dvfs")),
+            RunSpec(("gcc", "variant1"), base),  # ideal: never acts
+        ]
+        metrics: dict = {}
+        lane_results, deferred = simulate_lockstep(specs, metrics)
+        assert deferred == []
+        assert metrics["lanes"] == 3
+        assert metrics["splits"] >= 1
+        assert metrics["cohorts"] == 3
+        for lane, spec in enumerate(specs):
+            scalar = Simulator(
+                spec.config, workloads=list(spec.workloads)
+            ).run()
+            assert canonical(lane_results[lane]) == canonical(scalar)
+        assert lane_results[0].stall_engagements > 0
+        assert lane_results[1].stall_engagements > 0
+        assert lane_results[2].stall_engagements == 0
+
+    def test_identical_action_timelines_share_one_cohort(self):
+        # Lanes differing only in a behavior-neutral knob (EWMA shift under
+        # a non-sedation policy) act in unison and must never split.
+        base = tiny_config("stop_and_go")
+        specs = [
+            RunSpec(
+                ("gcc", "variant1"),
+                dataclasses.replace(
+                    base,
+                    sedation=dataclasses.replace(
+                        base.sedation, ewma_shift=shift
+                    ),
+                ),
+            )
+            for shift in (5, 6, 7)
+        ]
+        metrics: dict = {}
+        lane_results, _ = simulate_lockstep(specs, metrics)
+        assert metrics["cohorts"] == 1 and metrics["splits"] == 0
+        assert all(
+            lane_results[lane].stall_engagements > 0 for lane in range(3)
+        )
+        assert_equivalent(specs)
 
 
 class TestCacheInterplay:

@@ -121,6 +121,21 @@ class TestDeterminismRule:
         }, select=("RPR001",))
         assert codes(result) == ["RPR001", "RPR001"]
 
+    def test_cohort_module_is_guarded(self, tmp_path):
+        # The cohort engine decides split points and culprit order for
+        # cache-keyed batch results; nondeterminism there silently skews
+        # every lane of a group, so RPR001 must cover sim/cohort.py.
+        result = lint_sources(tmp_path, {
+            "sim/cohort.py": """\
+                import random
+                def pick_keeper(partitions):
+                    for lanes in {tuple(p) for p in partitions}:
+                        pass
+                    return random.choice(partitions)
+                """,
+        }, select=("RPR001",))
+        assert codes(result) == ["RPR001", "RPR001"]
+
 
 # -- RPR002: fingerprint completeness ----------------------------------------
 

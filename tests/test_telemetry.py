@@ -28,6 +28,7 @@ from repro.telemetry import (
     EventBus,
     EventType,
     TelemetrySession,
+    batch_narrative,
     filter_events,
     load_events,
     sedation_episodes,
@@ -211,6 +212,25 @@ class TestCanonicalNarrative:
         assert "sedation episodes:" in report
         assert "thread 1 at int_rf" in report
         assert "upper rise" in report and "release" in report
+
+    def test_summary_batch_section(self, canonical):
+        session, _ = canonical
+        counters = {
+            "runner.batch_groups": 2,
+            "runner.batch_lanes": 12,
+            "runner.batch_completed": 12,
+            "runner.batch_deferred": 0,
+            "runner.batch_cohorts": 5,
+            "runner.batch_splits": 3,
+        }
+        report = summarize(session.events(), batch_counters=counters)
+        assert "batch execution:" in report
+        assert "12 lanes in 2 lock-step groups -> 5 cohorts" in report
+        assert "(3 divergence splits)" in report
+        assert "retention 100%: 12 lanes completed in-batch" in report
+        # No batch activity (or no counters at all): section omitted.
+        assert "batch execution:" not in summarize(session.events())
+        assert batch_narrative({}) == []
 
 
 class TestMetricsSnapshot:
