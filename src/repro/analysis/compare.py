@@ -13,7 +13,7 @@ from statistics import fmean
 from ..errors import SimulationError
 from ..sim.stats import RunResult
 from ..telemetry.events import Event
-from ..telemetry.summary import stall_episodes
+from ..telemetry.reducers import StreamingStallFold
 
 
 def degradation(baseline_ipc: float, observed_ipc: float) -> float:
@@ -49,16 +49,17 @@ def duty_cycle_from_events(events: Iterable[Event], cycles: int) -> float:
     the end of the log is counted through ``cycles``.  Matches
     :func:`duty_cycle` on stop-and-go runs without needing the
     :class:`~repro.sim.stats.RunResult`.
+
+    A single streaming fold (:class:`~repro.telemetry.reducers.
+    StreamingStallFold`): the stream is consumed once and never
+    materialized, so campaign-scale logs fold in O(1) memory.
     """
     if cycles <= 0:
         raise SimulationError("cycles must be positive")
-    stalled = 0
-    for episode in stall_episodes(events):
-        end = episode["disengage_cycle"]
-        if end is None:
-            end = cycles
-        stalled += end - episode["engage_cycle"]
-    return max(0.0, 1.0 - stalled / cycles)
+    fold = StreamingStallFold()
+    for event in events:
+        fold.feed(event)
+    return max(0.0, 1.0 - fold.total(cycles) / cycles)
 
 
 def restoration(

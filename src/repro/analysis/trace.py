@@ -20,6 +20,7 @@ from collections.abc import Iterable, Sequence
 
 from ..errors import SimulationError
 from ..telemetry.events import Event, trace_rows
+from ..telemetry.reducers import StreamingTrace
 
 TraceRow = tuple[int, float, float]
 
@@ -64,15 +65,30 @@ def strip_chart(
     return "\n".join(lines)
 
 
-def strip_chart_from_events(events: Iterable[Event], **kwargs) -> str:
+def strip_chart_from_events(
+    events: Iterable[Event], max_rows: int | None = None, **kwargs
+) -> str:
     """Strip chart straight from a telemetry event stream.
 
     Keyword arguments are forwarded to :func:`strip_chart`.  Raises
     :class:`~repro.errors.SimulationError` when the log holds no
     ``sensor_sample`` events (e.g. it was filtered down to narrative
     events only).
+
+    ``max_rows=None`` (the default) materializes every sample row —
+    byte-identical to charting the run's own trace.  Setting a bound
+    streams the events through a power-of-two decimator
+    (:class:`~repro.telemetry.reducers.StreamingTrace`) instead, so
+    campaign-scale logs chart in O(max_rows) memory; the chart's shape is
+    unchanged because :func:`strip_chart` itself downsamples to ``width``
+    columns (keep ``max_rows`` comfortably above ``width``).
     """
-    return strip_chart(trace_rows(events), **kwargs)
+    if max_rows is None:
+        return strip_chart(trace_rows(events), **kwargs)
+    reducer = StreamingTrace(max_rows=max_rows)
+    for event in events:
+        reducer.feed(event)
+    return strip_chart(reducer.rows(), **kwargs)
 
 
 def trace_to_csv(trace: Sequence[TraceRow]) -> str:

@@ -7,11 +7,14 @@ Commands (documented with examples in docs/cli.md):
 * ``workloads`` — list every registered workload.
 * ``attack`` — the quickstart demo: solo / attacked / defended comparison.
 * ``temps`` — print the calibrated steady-state temperature ladder.
-* ``events`` — filter/summarize a JSONL event log written by ``run``.
+* ``events`` — filter/summarize an event log written by ``run`` (JSONL or
+  columnar ``.npz``; summaries stream, so campaign-scale logs are fine).
 * ``trace`` — render a temperature strip chart from a saved result or an
   event log.
 * ``faults`` — run the same workload mix healthy and under an injected
   fault plan and compare what the defense still delivers.
+* ``campaign-summary`` — list or render the campaign rollups written
+  beside the run cache by ``run_many`` (docs/telemetry.md).
 """
 
 from __future__ import annotations
@@ -41,13 +44,16 @@ from .sim import ExperimentRunner, Simulator
 from .sim.results import load_result, save_result
 from .sim.parallel import RUNNER_METRICS
 from .telemetry import (
+    CaptureConfig,
     EventType,
+    StreamingSummary,
     TelemetrySession,
     batch_narrative,
+    columnar_meta,
     fault_injection_counts,
-    filter_events,
-    load_events,
-    summarize,
+    iter_filtered,
+    read_columnar,
+    read_events,
     trace_rows,
 )
 from .thermal import RCThermalModel
@@ -75,13 +81,31 @@ def _config(args) -> SimulationConfig:
     )
 
 
+def _is_columnar(path) -> bool:
+    """Columnar ``.npz`` archives are selected by extension everywhere."""
+    return path is not None and str(path).endswith(".npz")
+
+
+def _read_log(path):
+    """(event iterator, columnar metadata or None) for either log format."""
+    if _is_columnar(path):
+        return read_columnar(path), columnar_meta(path)
+    return read_events(path), None
+
+
 def cmd_run(args) -> int:
     config = _config(args).with_policy(args.policy)
     if args.ideal_sink:
         config = config.with_ideal_sink()
     session = None
     if args.events or args.telemetry:
-        session = TelemetrySession(jsonl_path=args.events)
+        capture = CaptureConfig.parse(args.channel) if args.channel else None
+        sink_kwargs = (
+            {"columnar_path": args.events}
+            if _is_columnar(args.events)
+            else {"jsonl_path": args.events}
+        )
+        session = TelemetrySession(capture=capture, **sink_kwargs)
     simulator = Simulator(config, workloads=args.workloads, telemetry=session)
     result = simulator.run(trace=bool(args.output))
     print(result.summary())
@@ -92,9 +116,15 @@ def cmd_run(args) -> int:
         if args.telemetry:
             print(json.dumps(result.telemetry, indent=1))
         if args.events:
+            suppressed = (
+                f", {session.suppressed} capture-suppressed"
+                if session.suppressed
+                else ""
+            )
             print(
                 f"events: {session.bus.emitted} emitted "
-                f"({session.bus.dropped} dropped from ring) -> {args.events}"
+                f"({session.bus.dropped} dropped from ring{suppressed}) "
+                f"-> {args.events}"
             )
     if args.output:
         save_result(result, args.output)
@@ -116,10 +146,10 @@ def _format_event(event) -> str:
 
 
 def cmd_events(args) -> int:
-    events = load_events(args.log)
+    stream, meta = _read_log(args.log)
     types = {EventType(name) for name in args.type} if args.type else None
-    selected = filter_events(
-        events,
+    selected = iter_filtered(
+        stream,
         types=types,
         thread=args.thread,
         block=block_id(args.block) if args.block else None,
@@ -127,21 +157,34 @@ def cmd_events(args) -> int:
         until=args.until,
     )
     if args.summary:
-        # Batch counters are per-process; present only when this process
-        # also ran the simulations behind the log (programmatic use).
-        print(summarize(selected, batch_counters=RUNNER_METRICS.counters))
+        # One streaming pass — the log is never materialized, so
+        # campaign-scale archives summarize in bounded memory.  Batch
+        # counters are per-process; present only when this process also
+        # ran the simulations behind the log (programmatic use).  Ring
+        # accounting rides columnar metadata only (JSONL has none).
+        reducer = StreamingSummary()
+        for event in selected:
+            reducer.feed(event)
+        print(reducer.render(
+            batch_counters=RUNNER_METRICS.counters,
+            ring=meta.get("ring") if meta else None,
+        ))
         return 0
-    shown = selected if args.limit is None else selected[: args.limit]
-    for event in shown:
+    remaining = 0
+    for shown, event in enumerate(selected):
+        if args.limit is not None and shown >= args.limit:
+            remaining += 1
+            continue
         print(_format_event(event))
-    if len(shown) < len(selected):
-        print(f"... {len(selected) - len(shown)} more (raise --limit)")
+    if remaining:
+        print(f"... {remaining} more (raise --limit)")
     return 0
 
 
 def cmd_trace(args) -> int:
     if args.events:
-        rows = trace_rows(load_events(args.events))
+        stream, _ = _read_log(args.events)
+        rows = trace_rows(stream)
     elif args.result:
         rows = load_result(args.result).trace
     else:
@@ -259,7 +302,10 @@ def cmd_faults(args) -> int:
     config = _config(args).with_policy(args.policy)
     plan = _fault_plan_from_args(args, config.thermal)
     healthy = Simulator(config, workloads=args.workloads).run()
-    session = TelemetrySession(jsonl_path=args.events)
+    if _is_columnar(args.events):
+        session = TelemetrySession(columnar_path=args.events)
+    else:
+        session = TelemetrySession(jsonl_path=args.events)
     faulted = Simulator(
         config.with_faults(plan), workloads=args.workloads, telemetry=session
     ).run()
@@ -288,6 +334,67 @@ def cmd_faults(args) -> int:
             print(f"  {name:<22} {count}")
     if args.events:
         print(f"events -> {args.events}")
+    return 0
+
+
+def cmd_campaign_summary(args) -> int:
+    from .sim.rollup import list_rollups, load_rollup
+
+    if not args.key:
+        rollups = list_rollups(args.cache_dir)
+        if not rollups:
+            print(f"no rollups under {args.cache_dir}/rollups")
+            return 0
+        rows = [
+            [
+                payload["key"][:12],
+                payload["runs"],
+                payload["failures"],
+                " ".join(sorted(payload["policies"])),
+                ", ".join(payload["workloads"]),
+            ]
+            for payload in rollups
+        ]
+        print(format_table(
+            ["rollup", "runs", "failures", "policies", "workloads"], rows,
+            title=f"campaign rollups in {args.cache_dir}",
+        ))
+        return 0
+
+    payload = load_rollup(args.cache_dir, args.key)
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    rows = []
+    for policy, bucket in payload["policies"].items():
+        mean_ipc = bucket["mean_ipc"]
+        rows.append([
+            policy,
+            bucket["runs"],
+            " ".join(f"{ipc:.3f}" for ipc in mean_ipc),
+            bucket["emergencies"],
+            bucket["sedations"],
+            f"{bucket['peak_temperature_k']:.2f}",
+        ])
+    print(format_table(
+        ["policy", "runs", "mean ipc (t0..)", "emergencies", "sedations",
+         "peak T (K)"],
+        rows,
+        title=f"campaign {payload['key'][:12]} — {payload['runs']} runs "
+              f"({payload['failures']} failures)",
+    ))
+    print(f"workloads: {', '.join(payload['workloads'])}")
+    telemetry = payload.get("telemetry")
+    if telemetry:
+        emitted = sum(
+            count
+            for name, count in telemetry["counters"].items()
+            if name.startswith("events.")
+        )
+        print(
+            f"merged telemetry: {telemetry['runs']} instrumented runs, "
+            f"{emitted} events counted"
+        )
     return 0
 
 
@@ -337,15 +444,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--perf", action="store_true",
                      help="print fast-path engine counters (cycles/s, skips)")
     run.add_argument("--events", metavar="LOG",
-                     help="stream telemetry events to a JSONL file")
+                     help="record telemetry events (.jsonl streams JSONL; "
+                          ".npz packs a compressed columnar archive)")
+    run.add_argument("--channel", action="append", metavar="TYPE[:STRIDE]",
+                     help="record only this event channel, optionally "
+                          "keeping every STRIDE-th event (repeatable; "
+                          "metrics still see everything — docs/telemetry.md)")
     run.add_argument("--telemetry", action="store_true",
                      help="collect and print the telemetry metrics snapshot")
     _add_common(run)
     run.set_defaults(func=cmd_run)
 
     events = sub.add_parser(
-        "events", help="filter/summarize a JSONL event log")
-    events.add_argument("log", help="event log written by `run --events`")
+        "events", help="filter/summarize an event log (JSONL or .npz)")
+    events.add_argument("log", help="event log written by `run --events` "
+                                    "(JSONL or columnar .npz)")
     events.add_argument("--type", action="append",
                         choices=[t.value for t in EventType],
                         help="keep only this event type (repeatable)")
@@ -367,7 +480,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("result", nargs="?",
                        help="result JSON written by `run --output`")
     trace.add_argument("--events", metavar="LOG",
-                       help="build the trace from a JSONL event log instead")
+                       help="build the trace from an event log instead "
+                            "(JSONL or columnar .npz)")
     trace.add_argument("--column", type=int, default=2, choices=(1, 2),
                        help="1 = hottest block, 2 = integer RF (default)")
     trace.add_argument("--width", type=int, default=72)
@@ -429,9 +543,21 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--off-ms", type=float, default=3.0,
                         help="attacker off-phase length in milliseconds")
     faults.add_argument("--events", metavar="LOG",
-                        help="stream the faulted run's events to JSONL")
+                        help="record the faulted run's events "
+                             "(JSONL or columnar .npz)")
     _add_common(faults)
     faults.set_defaults(func=cmd_faults)
+
+    campaign = sub.add_parser(
+        "campaign-summary",
+        help="list or render campaign rollups written beside the run cache")
+    campaign.add_argument("key", nargs="?", default=None,
+                          help="rollup key (unique prefix ok); omit to list")
+    campaign.add_argument("--cache-dir", default=".repro_cache",
+                          help="run cache holding the rollups/ directory")
+    campaign.add_argument("--json", action="store_true",
+                          help="print the raw rollup document")
+    campaign.set_defaults(func=cmd_campaign_summary)
 
     temps = sub.add_parser("temps", help="print the temperature ladder")
     _add_common(temps)

@@ -11,6 +11,14 @@ from .parallel import (
     run_many,
     spec_fingerprint,
 )
+from .rollup import (
+    ROLLUP_DIR,
+    build_rollup,
+    list_rollups,
+    load_rollup,
+    rollup_key,
+    write_rollup,
+)
 from .simulator import Simulator, run_workloads
 from .stats import RunResult, ThreadStats
 
@@ -22,7 +30,12 @@ __all__ = [
     "RunFailure",
     "RunResult",
     "RunSpec",
+    "ROLLUP_DIR",
     "batch_fingerprint",
+    "build_rollup",
+    "list_rollups",
+    "load_rollup",
+    "rollup_key",
     "run_many",
     "run_workloads",
     "QuantumRecord",
@@ -31,4 +44,5 @@ __all__ = [
     "spec_fingerprint",
     "Simulator",
     "ThreadStats",
+    "write_rollup",
 ]

@@ -251,6 +251,13 @@ def simulate_lockstep(
         metrics["lanes"] = lanes
         metrics["cohorts"] = len(finished)
         metrics["splits"] = splits
+        # Which cohort each lane ended the quantum in, for lane-tagged
+        # campaign telemetry (cohort ordinals follow completion order).
+        lane_cohorts = [0] * lanes
+        for ordinal, cohort in enumerate(finished):
+            for lane in cohort.lanes:
+                lane_cohorts[int(lane)] = ordinal
+        metrics["lane_cohorts"] = lane_cohorts
 
     # Wall time is amortized evenly over the lanes: the honest per-run cost
     # of the batch (PerfCounters are compare=False diagnostics; every

@@ -33,6 +33,7 @@ class ExperimentRunner:
         jobs: int | None = None,
         cache_dir: str | Path | None = None,
         batch: bool = True,
+        telemetry=None,
     ) -> None:
         self.base = base_config or scaled_config()
         self.results: dict[str, RunResult] = {}
@@ -43,6 +44,10 @@ class ExperimentRunner:
         #: lock-step batch tier toggle (see :func:`repro.sim.run_many`);
         #: results are byte-identical either way
         self.batch = batch
+        #: campaign-level TelemetrySession: receives one LANE_COMPLETE per
+        #: dispatched spec and CAMPAIGN_ROLLUP events (simulation results
+        #: are unaffected — this observes the runner, not the runs)
+        self.telemetry = telemetry
 
     # -- run shapes ---------------------------------------------------------
 
@@ -95,6 +100,7 @@ class ExperimentRunner:
                 cache_dir=self.cache_dir,
                 cache=self.cache_dir is not None,
                 batch=self.batch,
+                telemetry=self.telemetry,
             )
             for (label, _, _), result in zip(missing, fresh, strict=True):
                 self.results[label] = result

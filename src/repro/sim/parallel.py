@@ -56,6 +56,7 @@ from pathlib import Path
 
 from ..config import SimulationConfig
 from ..errors import FaultError, SimulationError
+from ..telemetry.events import EventType
 from ..telemetry.metrics import MetricsRegistry
 from .batch import batch_fingerprint, simulate_lockstep
 from .campaign import CampaignResult, QuantumRecord, run_campaign
@@ -665,6 +666,7 @@ def _run_lockstep_groups(
     work: list[tuple[str, RunSpec | CampaignSpec]],
     outcomes: dict[str, RunResult | CampaignResult | RunFailure],
     timeout: float | None,
+    lane_info: dict[str, dict] | None = None,
 ) -> None:
     """The lock-step batch tier: amortize compatible specs on one pipeline.
 
@@ -719,12 +721,53 @@ def _run_lockstep_groups(
         except Exception:
             RUNNER_METRICS.inc("runner.batch_errors")
             continue  # every lane falls back to the scalar path
+        lane_cohorts = batch_metrics.get("lane_cohorts") or []
         for lane, result in lane_results.items():
             outcomes[members[lane][0]] = result
+            if lane_info is not None:
+                info = {"cohorts": batch_metrics.get("cohorts", 0)}
+                if lane < len(lane_cohorts):
+                    info["cohort"] = lane_cohorts[lane]
+                lane_info[members[lane][0]] = info
         RUNNER_METRICS.inc("runner.batch_completed", len(lane_results))
         RUNNER_METRICS.inc("runner.batch_deferred", len(deferred))
         RUNNER_METRICS.inc("runner.batch_cohorts", batch_metrics.get("cohorts", 0))
         RUNNER_METRICS.inc("runner.batch_splits", batch_metrics.get("splits", 0))
+
+
+def _emit_campaign_events(
+    telemetry,
+    spec_list: list[RunSpec | CampaignSpec],
+    keys: list[str],
+    results: list,
+    sources: dict[str, str],
+    lane_info: dict[str, dict],
+) -> None:
+    """Emit one LANE_COMPLETE per input slot on the campaign session.
+
+    The event's ``cycle`` is the lane index (campaign sessions count lanes,
+    not simulated cycles); ``data`` names the execution tier that produced
+    the slot (``cache``/``batch``/``pool``/``serial``) and, for batch
+    lanes, which cohort the lane ended its quantum in.
+    """
+    for index, (spec, key) in enumerate(zip(spec_list, keys, strict=True)):
+        result = results[index]
+        data: dict = {
+            "lane": index,
+            "source": sources.get(key, "cache"),
+            "workloads": "+".join(spec.workloads),
+            "policy": spec.config.dtm_policy,
+        }
+        info = lane_info.get(key)
+        if info is not None:
+            data.update(info)
+        if isinstance(result, RunFailure):
+            data["error"] = result.kind
+        else:
+            final = result.final if isinstance(result, CampaignResult) else result
+            data["cycles"] = final.cycles
+            data["ipc"] = final.threads[0].ipc
+        telemetry.emit(EventType.LANE_COMPLETE, cycle=index, data=data)
 
 
 def run_many(
@@ -736,6 +779,7 @@ def run_many(
     retries: int = 0,
     raise_on_error: bool = True,
     batch: bool = True,
+    telemetry=None,
 ) -> list[RunResult | CampaignResult | RunFailure]:
     """Run a batch of specs, in parallel, through the on-disk cache.
 
@@ -767,6 +811,15 @@ def run_many(
 
     A crashed worker process (``BrokenProcessPool``) never aborts the
     batch: every spec without a result is re-executed serially.
+
+    Observability: ``telemetry`` (a
+    :class:`~repro.telemetry.TelemetrySession`) receives one
+    ``LANE_COMPLETE`` event per input slot — tagged with the execution
+    tier that produced it and the batch cohort, if any — plus a
+    ``CAMPAIGN_ROLLUP`` event when a rollup document is published.  With
+    the cache enabled, every multi-spec batch writes a campaign rollup
+    under ``<cache_dir>/rollups/`` (see :mod:`repro.sim.rollup` and the
+    ``repro campaign-summary`` verb).
     """
     if retries < 0:
         raise SimulationError("retries must be >= 0")
@@ -782,14 +835,19 @@ def run_many(
     )
     order: list[str] = []  # first-seen fingerprints still to execute
     pending: dict[str, list[int]] = {}  # fingerprint -> indices needing it
+    keys: list[str] = []  # per-slot fingerprint, input order
+    sources: dict[str, str] = {}  # fingerprint -> execution tier
+    lane_info: dict[str, dict] = {}  # fingerprint -> batch cohort tags
     for index, spec in enumerate(spec_list):
         key = spec_fingerprint(spec)
+        keys.append(key)
         if key in pending:
             pending[key].append(index)
             continue
         hit = _cache_load(directory, key)
         if hit is not None:
             results[index] = hit
+            sources[key] = "cache"
         else:
             pending[key] = [index]
             order.append(key)
@@ -800,22 +858,50 @@ def run_many(
         outcomes: dict[str, RunResult | CampaignResult | RunFailure] = {}
         workers = default_jobs() if jobs is None else max(1, jobs)
         if batch:
-            _run_lockstep_groups(work, outcomes, timeout)
+            _run_lockstep_groups(work, outcomes, timeout, lane_info)
+            for key in outcomes:
+                sources[key] = "batch"
         unresolved = [(key, spec) for key, spec in work if key not in outcomes]
         if not unresolved:
             pass
         elif workers <= 1 or len(unresolved) == 1:
             _run_serial(unresolved, attempts, timeout, retries, outcomes)
+            for key, _ in unresolved:
+                sources.setdefault(key, "serial")
         else:
             _run_pool(
                 unresolved, attempts, timeout, retries, outcomes, workers
             )
+            for key, _ in unresolved:
+                sources.setdefault(key, "pool")
         for key, spec in work:
             outcome = outcomes[key]
             if not isinstance(outcome, RunFailure):
                 _cache_store(directory, key, spec, outcome)
             for index in pending[key]:
                 results[index] = outcome
+
+    if telemetry is not None and telemetry.enabled:
+        _emit_campaign_events(
+            telemetry, spec_list, keys, results, sources, lane_info
+        )
+    if directory is not None and len(spec_list) >= 2:
+        from .rollup import build_rollup, write_rollup
+
+        payload = build_rollup(
+            list(zip(spec_list, keys, results, strict=True))
+        )
+        write_rollup(directory, payload)
+        if telemetry is not None and telemetry.enabled:
+            telemetry.emit(
+                EventType.CAMPAIGN_ROLLUP,
+                cycle=len(spec_list),
+                data={
+                    "key": payload["key"],
+                    "runs": payload["runs"],
+                    "failures": payload["failures"],
+                },
+            )
 
     failures = [r for r in results if isinstance(r, RunFailure)]
     if failures and raise_on_error:

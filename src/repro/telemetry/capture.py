@@ -1,0 +1,105 @@
+"""Per-channel capture control: what gets *recorded*, never what is measured.
+
+Telemetry capture cost is a first-class knob, modeled on shepherd's tracing
+configs (``PowerTracing``/``GpioTracing``: per-channel enable plus a sample
+rate).  Each :class:`~repro.telemetry.events.EventType` is one *channel*;
+a :class:`CaptureConfig` selects which channels land in the ring buffer and
+sinks, and at what stride (keep the first event of the channel, then every
+``stride``-th).
+
+The contract, enforced by ``TelemetrySession.emit``:
+
+* **Capture filters recording, not measurement.**  Metric counters,
+  episode histograms, and gauge derivation always run on every event, so
+  ``RunResult.telemetry`` is byte-identical under any capture config; only
+  the ring buffer and the sinks see fewer events.  Suppressed events are
+  counted (``events.suppressed`` in the snapshot) so thinning is
+  observable, exactly like ring drops.
+* **The default is full capture.**  ``CaptureConfig()`` (and
+  ``capture=None`` on the session) records every channel at stride 1 —
+  the pre-capture behavior, byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from .events import EventType
+
+
+@dataclass(frozen=True)
+class CaptureConfig:
+    """Which event channels are recorded, and how densely.
+
+    ``channels=None`` enables every channel; otherwise only the named ones
+    are recorded.  ``strides`` maps a channel to its keep-every-Nth rate
+    (stride 8 on ``sensor_sample`` keeps one reading in eight).  Stored as
+    hashable tuples so the config itself stays frozen and comparable.
+    """
+
+    channels: frozenset[EventType] | None = None
+    strides: tuple[tuple[EventType, int], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for channel, stride in self.strides:
+            if stride < 1:
+                raise SimulationError(
+                    f"stride for {channel.value} must be >= 1, got {stride}"
+                )
+
+    def enabled(self, channel: EventType) -> bool:
+        return self.channels is None or channel in self.channels
+
+    def stride(self, channel: EventType) -> int:
+        for name, stride in self.strides:
+            if name is channel:
+                return stride
+        return 1
+
+    def to_dict(self) -> dict:
+        """JSON-able description (lands in columnar log metadata)."""
+        return {
+            "channels": (
+                None
+                if self.channels is None
+                else sorted(c.value for c in self.channels)
+            ),
+            "strides": {
+                channel.value: stride for channel, stride in self.strides
+            },
+        }
+
+    @classmethod
+    def parse(cls, specs: list[str]) -> CaptureConfig:
+        """Build a config from CLI ``CHANNEL[:STRIDE]`` strings.
+
+        Naming any channel switches to allowlist mode: only the listed
+        channels are recorded.  ``["sensor_sample:8", "sedate"]`` keeps
+        every 8th sensor sample and every sedation, nothing else.
+        """
+        channels: set[EventType] = set()
+        strides: list[tuple[EventType, int]] = []
+        for spec in specs:
+            name, _, rate = spec.partition(":")
+            try:
+                channel = EventType(name)
+            except ValueError as error:
+                raise SimulationError(
+                    f"unknown event channel {name!r} "
+                    f"(see `repro events --help` for the taxonomy)"
+                ) from error
+            channels.add(channel)
+            if rate:
+                try:
+                    stride = int(rate)
+                except ValueError as error:
+                    raise SimulationError(
+                        f"bad stride in {spec!r} (want CHANNEL[:STRIDE])"
+                    ) from error
+                strides.append((channel, stride))
+        return cls(channels=frozenset(channels), strides=tuple(strides))
+
+
+#: Record everything at stride 1 — the implicit default.
+FULL_CAPTURE = CaptureConfig()

@@ -54,6 +54,10 @@ class EventType(str, enum.Enum):
     FAULT_ACTUATOR = "fault_actuator"
     #: the intermittent-attacker schedule toggled a thread on or off
     ATTACKER_PHASE = "attacker_phase"
+    #: one campaign lane finished (data: lane, source, policy, workloads)
+    LANE_COMPLETE = "lane_complete"
+    #: a campaign rollup was written beside the run cache (data: key, runs)
+    CAMPAIGN_ROLLUP = "campaign_rollup"
 
 
 #: Narrative event types — everything except the high-frequency samples.

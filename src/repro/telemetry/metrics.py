@@ -77,3 +77,53 @@ class MetricsRegistry:
                 for name, histogram in sorted(self.histograms.items())
             },
         }
+
+
+def merge_metric_snapshots(snapshots: list[dict]) -> dict | None:
+    """Combine per-run ``to_dict()`` snapshots into one campaign view.
+
+    Counters sum, gauges average over the snapshots that carry them, and
+    histograms merge exactly (count/total/min/max compose; mean is
+    recomputed), so the result is what one registry would have recorded
+    had it observed every run.  Deterministic: output keys are sorted and
+    depend only on the input snapshots.  Returns ``None`` when no
+    snapshot is usable (e.g. a telemetry-free campaign).
+    """
+    usable = [s for s in snapshots if s]
+    if not usable:
+        return None
+    counters: dict[str, int] = {}
+    gauge_sums: dict[str, float] = {}
+    gauge_counts: dict[str, int] = {}
+    merged_histograms: dict[str, dict] = {}
+    for snapshot in usable:
+        for name, amount in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + amount
+        for name, value in snapshot.get("gauges", {}).items():
+            gauge_sums[name] = gauge_sums.get(name, 0.0) + value
+            gauge_counts[name] = gauge_counts.get(name, 0) + 1
+        for name, payload in snapshot.get("histograms", {}).items():
+            count = payload.get("count", 0)
+            if not count:
+                continue
+            into = merged_histograms.get(name)
+            if into is None:
+                merged_histograms[name] = dict(payload)
+                continue
+            into["count"] += count
+            into["total"] += payload["total"]
+            into["min"] = min(into["min"], payload["min"])
+            into["max"] = max(into["max"], payload["max"])
+    for payload in merged_histograms.values():
+        payload["mean"] = payload["total"] / payload["count"]
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": {
+            name: gauge_sums[name] / gauge_counts[name]
+            for name in sorted(gauge_sums)
+        },
+        "histograms": {
+            name: merged_histograms[name] for name in sorted(merged_histograms)
+        },
+        "runs": len(usable),
+    }

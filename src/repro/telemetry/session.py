@@ -22,6 +22,8 @@ from pathlib import Path
 
 from ..blocks import INT_RF
 from .bus import DEFAULT_CAPACITY, EventBus, JsonlSink
+from .capture import CaptureConfig
+from .columnar import ColumnarSink
 from .events import Event, EventType
 from .metrics import MetricsRegistry
 
@@ -36,6 +38,8 @@ class TelemetrySession:
         capacity: int | None = DEFAULT_CAPACITY,
         jsonl_path: str | Path | None = None,
         ewma_stride: int = 16,
+        columnar_path: str | Path | None = None,
+        capture: CaptureConfig | None = None,
     ) -> None:
         if ewma_stride < 1:
             raise ValueError("ewma_stride must be >= 1")
@@ -47,6 +51,17 @@ class TelemetrySession:
         if jsonl_path is not None:
             self._jsonl = JsonlSink(jsonl_path)
             self.bus.add_sink(self._jsonl)
+        self._columnar: ColumnarSink | None = None
+        if columnar_path is not None:
+            self._columnar = ColumnarSink(columnar_path)
+            self.bus.add_sink(self._columnar)
+        # Per-channel capture control (None = record everything).  Capture
+        # filters *recording* only: metrics and episode derivation below
+        # always see every event, so RunResult.telemetry is identical under
+        # any capture config.
+        self.capture = capture
+        self.suppressed = 0
+        self._channel_ticks: dict[EventType, int] = {}
         # Episode state for incremental histograms.
         self._above_emergency: dict[int, int] = {}  # block -> rise cycle
         self._above_upper: dict[int, int] = {}      # block -> rise cycle
@@ -65,10 +80,27 @@ class TelemetrySession:
         data: dict | None = None,
     ) -> Event:
         event = Event(cycle, type, thread, block, value, data)
-        self.bus.emit(event)
+        if self._record(type):
+            self.bus.emit(event)
+        else:
+            self.suppressed += 1
         self.metrics.inc(f"events.{type.value}")
         self._derive(event)
         return event
+
+    def _record(self, type: EventType) -> bool:
+        """Does the capture config let this event reach the ring + sinks?"""
+        capture = self.capture
+        if capture is None:
+            return True
+        if not capture.enabled(type):
+            return False
+        stride = capture.stride(type)
+        if stride == 1:
+            return True
+        tick = self._channel_ticks.get(type, 0)
+        self._channel_ticks[type] = tick + 1
+        return tick % stride == 0
 
     def _derive(self, event: Event) -> None:
         """Fold one event into the episode histograms."""
@@ -186,10 +218,29 @@ class TelemetrySession:
             "emitted": self.bus.emitted,
             "dropped": self.bus.dropped,
         }
+        # Only present under a thinning capture config, so default-path
+        # snapshots stay byte-identical to the pre-capture format.
+        if self.suppressed:
+            payload["events"]["suppressed"] = self.suppressed
         return payload
+
+    def ring_stats(self) -> dict:
+        """Bus accounting for ring-drop narration and columnar metadata."""
+        stats = {
+            "emitted": self.bus.emitted,
+            "dropped": self.bus.dropped,
+            "capacity": self.bus.capacity,
+        }
+        if self.suppressed:
+            stats["suppressed"] = self.suppressed
+        return stats
 
     def close(self) -> None:
         """Flush and close any attached sinks (e.g. the JSONL stream)."""
+        if self._columnar is not None:
+            self._columnar.ring = self.ring_stats()
+            if self.capture is not None:
+                self._columnar.capture = self.capture.to_dict()
         self.bus.close()
 
 

@@ -9,22 +9,26 @@ saved log alone.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 
 from ..blocks import block_name
 from .events import NARRATIVE_TYPES, Event, EventType
 
 
-def filter_events(
+def iter_filtered(
     events: Iterable[Event],
     types: set[EventType] | None = None,
     thread: int | None = None,
     block: int | None = None,
     since: int | None = None,
     until: int | None = None,
-) -> list[Event]:
-    """Select events by type / thread / block / cycle window."""
-    out = []
+) -> Iterator[Event]:
+    """Lazily select events by type / thread / block / cycle window.
+
+    A generator so campaign-scale logs can flow straight into the
+    streaming reducers (:mod:`repro.telemetry.reducers`) without ever
+    materializing the stream.
+    """
     for event in events:
         if types is not None and event.type not in types:
             continue
@@ -36,8 +40,19 @@ def filter_events(
             continue
         if until is not None and event.cycle > until:
             continue
-        out.append(event)
-    return out
+        yield event
+
+
+def filter_events(
+    events: Iterable[Event],
+    types: set[EventType] | None = None,
+    thread: int | None = None,
+    block: int | None = None,
+    since: int | None = None,
+    until: int | None = None,
+) -> list[Event]:
+    """Select events by type / thread / block / cycle window."""
+    return list(iter_filtered(events, types, thread, block, since, until))
 
 
 def counts_by_type(events: Iterable[Event]) -> dict[str, int]:
@@ -122,43 +137,60 @@ def stall_episodes(events: Iterable[Event]) -> list[dict]:
     return episodes
 
 
+def narrative_line(event: Event) -> str:
+    """The one human-readable line for a single narrative event."""
+    where = block_name(event.block) if event.block is not None else "chip"
+    temp = f" T={event.value:.2f}K" if event.value is not None else ""
+    data = event.data or {}
+    if event.type is EventType.THRESHOLD_CROSS:
+        detail = f"{data.get('threshold', '?')} {data.get('direction', '?')}"
+    elif event.type in (EventType.SEDATE, EventType.RELEASE):
+        detail = f"thread {event.thread}"
+        ewma = data.get("ewma")
+        if ewma is not None:
+            detail += f" (ewma {ewma:.2f})"
+    elif event.type is EventType.DVFS_STEP:
+        detail = (
+            f"slowdown {data.get('slowdown')} via "
+            f"{data.get('mechanism', 'dvfs')}"
+        )
+    elif event.type is EventType.STOPGO_ENGAGE and data.get("safety_net"):
+        detail = "safety net"
+    elif event.type is EventType.FAULT_ACTUATOR:
+        detail = (
+            f"{data.get('action', '?')} {data.get('outcome', '?')} "
+            f"(thread {event.thread})"
+        )
+    elif event.type is EventType.ATTACKER_PHASE:
+        detail = f"thread {event.thread} {data.get('phase', '?')}"
+    elif event.type is EventType.LANE_COMPLETE:
+        detail = (
+            f"lane {data.get('lane', '?')} via {data.get('source', '?')}: "
+            f"{data.get('workloads', '?')} [{data.get('policy', '?')}]"
+        )
+        ipc = data.get("ipc")
+        if ipc is not None:
+            detail += f" ipc {ipc:.3f}"
+    elif event.type is EventType.CAMPAIGN_ROLLUP:
+        detail = (
+            f"{data.get('runs', '?')} runs -> "
+            f"rollup {str(data.get('key', '?'))[:12]}"
+        )
+    else:
+        detail = ""
+    return (
+        f"[cycle {event.cycle:>8}] {event.type.value:<18} {where:<8} "
+        f"{detail}{temp}".rstrip()
+    )
+
+
 def narrative(events: Iterable[Event]) -> list[str]:
     """One human-readable line per narrative event, in log order."""
-    lines = []
-    for event in events:
-        if event.type not in NARRATIVE_TYPES:
-            continue
-        where = block_name(event.block) if event.block is not None else "chip"
-        temp = f" T={event.value:.2f}K" if event.value is not None else ""
-        data = event.data or {}
-        if event.type is EventType.THRESHOLD_CROSS:
-            detail = f"{data.get('threshold', '?')} {data.get('direction', '?')}"
-        elif event.type in (EventType.SEDATE, EventType.RELEASE):
-            detail = f"thread {event.thread}"
-            ewma = data.get("ewma")
-            if ewma is not None:
-                detail += f" (ewma {ewma:.2f})"
-        elif event.type is EventType.DVFS_STEP:
-            detail = (
-                f"slowdown {data.get('slowdown')} via "
-                f"{data.get('mechanism', 'dvfs')}"
-            )
-        elif event.type is EventType.STOPGO_ENGAGE and data.get("safety_net"):
-            detail = "safety net"
-        elif event.type is EventType.FAULT_ACTUATOR:
-            detail = (
-                f"{data.get('action', '?')} {data.get('outcome', '?')} "
-                f"(thread {event.thread})"
-            )
-        elif event.type is EventType.ATTACKER_PHASE:
-            detail = f"thread {event.thread} {data.get('phase', '?')}"
-        else:
-            detail = ""
-        lines.append(
-            f"[cycle {event.cycle:>8}] {event.type.value:<18} {where:<8} "
-            f"{detail}{temp}".rstrip()
-        )
-    return lines
+    return [
+        narrative_line(event)
+        for event in events
+        if event.type in NARRATIVE_TYPES
+    ]
 
 
 def batch_narrative(counters: dict[str, int]) -> list[str]:
@@ -189,39 +221,95 @@ def batch_narrative(counters: dict[str, int]) -> list[str]:
     return lines
 
 
+def sedation_episode_line(episode: dict) -> str:
+    """The summary line for one SEDATE→RELEASE episode."""
+    end = episode["release_cycle"]
+    span = (
+        f"{episode['sedate_cycle']}..{end} "
+        f"({end - episode['sedate_cycle']} cycles)"
+        if end is not None
+        else f"{episode['sedate_cycle']}.. (open)"
+    )
+    release_t = episode["release_temperature_k"]
+    released = (
+        f", released at {release_t:.2f}K" if release_t is not None else ""
+    )
+    return (
+        f"thread {episode['thread']} at "
+        f"{block_name(episode['block'])}: {span}, sedated at "
+        f"{episode['sedate_temperature_k']:.2f}K{released}"
+    )
+
+
+def stall_episode_line(episode: dict) -> str:
+    """The summary line for one global-stall episode."""
+    end = episode["disengage_cycle"]
+    span = (
+        f"{episode['engage_cycle']}..{end} "
+        f"({end - episode['engage_cycle']} cycles)"
+        if end is not None
+        else f"{episode['engage_cycle']}.. (open)"
+    )
+    net = " [safety net]" if episode["safety_net"] else ""
+    return f"{span}{net}"
+
+
+def ring_narrative(ring: dict | None) -> list[str]:
+    """Lines narrating ring drops / capture suppression, if any occurred.
+
+    ``ring`` is the bus accounting (``emitted``/``dropped``/``capacity``
+    plus optional ``suppressed``) from a session snapshot or a columnar
+    log's metadata.  Empty when nothing was lost, so the section never
+    perturbs a clean log's summary — drop-free summaries stay byte-stable
+    across formats (JSONL logs carry no ring stats at all).
+    """
+    if not ring:
+        return []
+    lines = []
+    dropped = ring.get("dropped", 0)
+    if dropped:
+        capacity = ring.get("capacity")
+        sized = f" (ring capacity {capacity})" if capacity else ""
+        lines.append(
+            f"{dropped} of {ring.get('emitted', '?')} emitted events "
+            f"dropped from the ring{sized}; raise capacity or attach a "
+            f"sink (docs/telemetry.md)"
+        )
+    suppressed = ring.get("suppressed", 0)
+    if suppressed:
+        lines.append(
+            f"{suppressed} events suppressed by the capture config "
+            f"before recording"
+        )
+    return lines
+
+
 def summarize(
-    events: Iterable[Event], batch_counters: dict[str, int] | None = None
+    events: Iterable[Event],
+    batch_counters: dict[str, int] | None = None,
+    ring: dict | None = None,
 ) -> str:
     """Counts, episodes, and the narrative — the ``--summary`` report.
 
     ``batch_counters``, when provided (and the batch tier actually ran),
     adds a "batch execution" section describing how the runs behind the
     log were scheduled: lock-step groups, cohort splits, lane retention.
+    ``ring`` (bus accounting) adds a "ring buffer" section when events
+    were dropped or suppressed.
     """
     events = list(events)
     lines = ["event counts:"]
     for name, count in counts_by_type(events).items():
         lines.append(f"  {name:<18} {count}")
+    ring_lines = ring_narrative(ring)
+    if ring_lines:
+        lines.append("ring buffer:")
+        lines.extend("  " + line for line in ring_lines)
     sedations = sedation_episodes(events)
     if sedations:
         lines.append("sedation episodes:")
         for episode in sedations:
-            end = episode["release_cycle"]
-            span = (
-                f"{episode['sedate_cycle']}..{end} "
-                f"({end - episode['sedate_cycle']} cycles)"
-                if end is not None
-                else f"{episode['sedate_cycle']}.. (open)"
-            )
-            release_t = episode["release_temperature_k"]
-            released = (
-                f", released at {release_t:.2f}K" if release_t is not None else ""
-            )
-            lines.append(
-                f"  thread {episode['thread']} at "
-                f"{block_name(episode['block'])}: {span}, sedated at "
-                f"{episode['sedate_temperature_k']:.2f}K{released}"
-            )
+            lines.append("  " + sedation_episode_line(episode))
     injected = fault_injection_counts(events)
     if injected:
         lines.append("fault injection:")
@@ -231,15 +319,7 @@ def summarize(
     if stalls:
         lines.append("global stalls:")
         for episode in stalls:
-            end = episode["disengage_cycle"]
-            span = (
-                f"{episode['engage_cycle']}..{end} "
-                f"({end - episode['engage_cycle']} cycles)"
-                if end is not None
-                else f"{episode['engage_cycle']}.. (open)"
-            )
-            net = " [safety net]" if episode["safety_net"] else ""
-            lines.append(f"  {span}{net}")
+            lines.append("  " + stall_episode_line(episode))
     if batch_counters:
         batch_lines = batch_narrative(batch_counters)
         if batch_lines:

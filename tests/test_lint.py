@@ -287,6 +287,41 @@ class TestTelemetryCoverageRule:
         }, select=("RPR004",))
         assert result.findings == []
 
+    def test_campaign_event_types_need_emit_sites(self, tmp_path):
+        # The lane/campaign members added for run_many rollups are ordinary
+        # enum members to the rule: defining them without an emit site is a
+        # finding, and a runner module that emits both is clean.
+        events = EVENTS_MODULE + (
+            '    LANE_COMPLETE = "lane_complete"\n'
+            '        CAMPAIGN_ROLLUP = "campaign_rollup"\n'
+        )
+        runner = """\
+            from .events import EventType
+            def fire(session, cycle):
+                session.emit(EventType.SEDATE, cycle)
+                session.emit(EventType.RELEASE, cycle)
+            """
+        result = lint_sources(tmp_path, {
+            "telemetry/events.py": events,
+            "core/emitter.py": runner,
+        }, select=("RPR004",))
+        dead = {f.message.split(" ")[0].split(".")[1] for f in result.findings}
+        assert {"LANE_COMPLETE", "CAMPAIGN_ROLLUP"} <= dead
+
+        covered = lint_sources(tmp_path, {
+            "telemetry/events.py": events,
+            "core/emitter.py": runner + (
+                "\n"
+                "            def campaign(session, lanes, key):\n"
+                "                for index in range(lanes):\n"
+                "                    session.emit(EventType.LANE_COMPLETE,\n"
+                "                                 index)\n"
+                "                session.emit(EventType.CAMPAIGN_ROLLUP,\n"
+                "                             lanes, data={'key': key})\n"
+            ),
+        }, select=("RPR004",))
+        assert covered.findings == []
+
     def test_suppressed_dead_member(self, tmp_path):
         events = EVENTS_MODULE + (
             "    FUTURE = 'future'"

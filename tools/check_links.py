@@ -40,6 +40,7 @@ DEFAULT_FILES = (
     "docs/linting.md",
     "docs/robustness.md",
     "docs/performance.md",
+    "docs/telemetry.md",
 )
 
 # Inline links; [text](target "title") and [text](target).  Images share
