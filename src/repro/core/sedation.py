@@ -126,7 +126,7 @@ class SelectiveSedationController:
                             "direction": "rise" if above else "fall",
                         },
                     )
-            if self._state[block] == _IDLE:
+            if self._state[block] == _IDLE:  # repro: twin(sedation-fsm)
                 if temperature >= upper:
                     if self._sedate_culprit(block, reading.cycle, temperature):
                         self._state[block] = _WAITING
@@ -162,11 +162,11 @@ class SelectiveSedationController:
             self.actuator.submit(cycle, action, tid, block, fn)
 
     def _sedate_culprit(self, block: int, cycle: int, temperature: float) -> bool:
-        candidates = self._candidates()
+        candidates = self._candidates()  # repro: twin(sedation-culprit-floor) begin
         if len(candidates) < 2:
             # The last unsedated thread cannot degrade any other thread:
             # let it run; the stop-and-go safety net guards the emergency.
-            return False
+            return False  # repro: twin(sedation-culprit-floor) end
         culprit = identify_culprit(self.monitor, block, candidates)
         if culprit is None:
             return False
@@ -245,6 +245,8 @@ class SelectiveSedationController:
                         thread=tid,
                         block=block,
                         value=temperature,
+                        # repro: noqa(RPR008) deliberate variant of the
+                        # per-block RELEASE payload: flags the global reset
                         data={"safety_net": True},
                     )
         # The safety net is the global reset path: it bypasses the actuator

@@ -52,7 +52,7 @@ class DVFS(DTMPolicy):
         self._scaled_power = voltage_ratio * voltage_ratio
         self.throttled = False
 
-    def on_sensor(self, reading: SensorReading) -> None:
+    def on_sensor(self, reading: SensorReading) -> None:  # repro: twin(dvfs)
         hottest = reading.hottest_k
         if self.throttled:
             if hottest <= self.resume_k:

@@ -28,7 +28,7 @@ class FetchGating(DTMPolicy):
         self.resume_k = resume_k
         self.gating = False
 
-    def on_sensor(self, reading: SensorReading) -> None:
+    def on_sensor(self, reading: SensorReading) -> None:  # repro: twin(fetch-gating)
         hottest = reading.hottest_k
         if self.gating:
             if hottest <= self.resume_k:
@@ -46,5 +46,9 @@ class FetchGating(DTMPolicy):
             EventType.DVFS_STEP,
             reading.cycle,
             value=hottest,
-            data={"mechanism": "fetch_gating", "slowdown": self.slowdown},
+            data={
+                "mechanism": "fetch_gating",
+                "slowdown": self.slowdown,
+                "power_scale": self.power_scale,
+            },
         )

@@ -39,7 +39,7 @@ class SedationPolicy(DTMPolicy):
         self.controller.telemetry = session
 
     def on_sensor(self, reading: SensorReading) -> None:
-        if self.global_stall:
+        if self.global_stall:  # repro: twin(sedation-stall-release)
             if reading.hottest_k <= self.resume_k:
                 self.global_stall = False
                 self.telemetry.emit(
@@ -48,7 +48,7 @@ class SedationPolicy(DTMPolicy):
                     value=reading.hottest_k,
                 )
             return
-        if reading.hottest_k >= self.emergency_k:
+        if reading.hottest_k >= self.emergency_k:  # repro: twin(sedation-safety-net)
             self.global_stall = True
             self.engagements += 1
             self.safety_net_engagements += 1
@@ -57,6 +57,9 @@ class SedationPolicy(DTMPolicy):
                 reading.cycle,
                 block=reading.hottest_block,
                 value=reading.hottest_k,
+                # repro: noqa(RPR008) safety-net engage is a deliberate
+                # variant of the plain stop-and-go event; consumers filter
+                # on key presence
                 data={"safety_net": True},
             )
             self.controller.on_safety_net(reading.cycle, reading.hottest_k)

@@ -30,7 +30,7 @@ class StopAndGo(DTMPolicy):
         self.resume_k = resume_k
         self.stall_cycles = 0
 
-    def on_sensor(self, reading: SensorReading) -> None:
+    def on_sensor(self, reading: SensorReading) -> None:  # repro: twin(stopgo)
         hottest = reading.hottest_k
         if self.global_stall:
             if hottest <= self.resume_k:

@@ -58,14 +58,14 @@ class TTDFS(DTMPolicy):
         hottest = reading.hottest_k
         if hottest > self.peak_seen_k:
             self.peak_seen_k = hottest
-        over = hottest - self.tracking_threshold_k
+        over = hottest - self.tracking_threshold_k  # repro: twin(ttdfs-cool) begin
         if over <= 0:
             if self.slowdown != 1:
                 self.slowdown = 1
                 self.power_scale = 1.0
                 self._emit_step(reading, hottest)
-            return
-        steps = 1 + int(over / self.degrees_per_step)
+            return  # repro: twin(ttdfs-cool) end
+        steps = 1 + int(over / self.degrees_per_step)  # repro: twin(ttdfs-step) begin
         new_slowdown = min(self.max_slowdown, 1 + steps)
         if new_slowdown != self.slowdown:
             self.slowdown = new_slowdown
@@ -73,12 +73,16 @@ class TTDFS(DTMPolicy):
             # constant (TTDFS relaxes timing, it does not lower voltage).
             self.power_scale = 1.0
             self.engagements += 1
-            self._emit_step(reading, hottest)
+            self._emit_step(reading, hottest)  # repro: twin(ttdfs-step) end
 
     def _emit_step(self, reading: SensorReading, hottest: float) -> None:
         self.telemetry.emit(
             EventType.DVFS_STEP,
             reading.cycle,
             value=hottest,
-            data={"mechanism": "ttdfs", "slowdown": self.slowdown},
+            data={
+                "mechanism": "ttdfs",
+                "slowdown": self.slowdown,
+                "power_scale": self.power_scale,
+            },
         )

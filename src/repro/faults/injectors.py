@@ -80,6 +80,9 @@ class SensorFaultInjector:
         self.faults_injected += 1
         self.telemetry.emit(
             EventType.FAULT_SENSOR, cycle, value=value,
+            # repro: noqa(RPR008) fault payloads are mode-specific by
+            # design (stuck_k vs bias_k vs dropout); the type rides the
+            # JSON-blob column, never a packed one
             data={"mode": self.plan.mode, **data},
         )
 

@@ -1,0 +1,147 @@
+"""Checked-in finding baseline: gate on regressions, burn down the rest.
+
+A baseline file (``tools/lint_baseline.json``) records the findings that
+existed when a rule landed, keyed by ``(path, code, message)`` with an
+occurrence count — line numbers are deliberately excluded so unrelated
+edits that shift code do not invalidate entries.  A lint run with a
+baseline subtracts matching findings (up to each entry's count); anything
+left fails the run, so *new* findings gate CI immediately while the
+pre-existing set shrinks as fixes land.
+
+``tools/lint_baseline.py --update`` rewrites the file deterministically
+(sorted entries, stable JSON) from a fresh run; ``--check`` reports stale
+entries whose findings no longer exist.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+from ..errors import ConfigError
+from .findings import Finding
+
+#: Format marker so future layouts can migrate old files.
+BASELINE_SCHEMA = 1
+
+
+def norm_path(path: str | Path) -> str:
+    """Forward-slash form used for all baseline path comparisons."""
+    return PurePosixPath(str(path).replace("\\", "/")).as_posix()
+
+
+def paths_match(a: str, b: str) -> bool:
+    """Equality up to a directory prefix, so ``src/repro/x.py`` matches
+    ``/repo/src/repro/x.py`` regardless of the invocation directory."""
+    if a == b:
+        return True
+    return a.endswith("/" + b) or b.endswith("/" + a)
+
+
+@dataclass
+class BaselineEntry:
+    path: str
+    code: str
+    message: str
+    count: int = 1
+    #: findings matched against this entry during :meth:`Baseline.apply`.
+    matched: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "code": self.code,
+            "message": self.message,
+            "count": self.count,
+        }
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline plus match bookkeeping for one lint run."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> Baseline:
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as error:
+            raise ConfigError(f"cannot read baseline {path}: {error}") from error
+        except json.JSONDecodeError as error:
+            raise ConfigError(f"baseline {path} is not valid JSON: {error}") from error
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise ConfigError(f"baseline {path} lacks a 'findings' list")
+        entries = []
+        for raw in payload["findings"]:
+            entries.append(
+                BaselineEntry(
+                    path=norm_path(raw["path"]),
+                    code=str(raw["code"]).upper(),
+                    message=str(raw["message"]),
+                    count=int(raw.get("count", 1)),
+                )
+            )
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> Baseline:
+        keyed: dict[tuple[str, str, str], BaselineEntry] = {}
+        for finding in findings:
+            key = (norm_path(finding.path), finding.code, finding.message)
+            entry = keyed.get(key)
+            if entry is None:
+                keyed[key] = BaselineEntry(*key)
+            else:
+                entry.count += 1
+        return cls([keyed[key] for key in sorted(keyed)])
+
+    def apply(self, findings: list[Finding]) -> tuple[list[Finding], int]:
+        """Split findings into (surviving, baselined-count).
+
+        Each entry absorbs at most ``count`` matching findings; matching
+        ignores line/column and tolerates path-prefix differences.
+        """
+        for entry in self.entries:
+            entry.matched = 0
+        survivors: list[Finding] = []
+        absorbed = 0
+        for finding in findings:
+            fpath = norm_path(finding.path)
+            hit = next(
+                (
+                    entry
+                    for entry in self.entries
+                    if entry.matched < entry.count
+                    and entry.code == finding.code
+                    and entry.message == finding.message
+                    and paths_match(fpath, entry.path)
+                ),
+                None,
+            )
+            if hit is None:
+                survivors.append(finding)
+            else:
+                hit.matched += 1
+                absorbed += 1
+        return survivors, absorbed
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        """Entries (after :meth:`apply`) whose findings no longer all exist."""
+        return [entry for entry in self.entries if entry.matched < entry.count]
+
+    def render(self) -> str:
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "findings": [
+                entry.to_dict()
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.code, e.message)
+                )
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_text(self.render(), encoding="utf-8")

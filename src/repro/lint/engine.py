@@ -12,7 +12,9 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .baseline import Baseline, norm_path, paths_match
 from .findings import Finding, SuppressionMap
+from .project import ProjectContext
 from .registry import Module, Rule, select_rules
 
 #: Reserved code for files the linter cannot parse at all.
@@ -24,10 +26,18 @@ _SKIP_DIRS = {"__pycache__", ".git", ".repro_cache", ".venv", "node_modules"}
 
 @dataclass(frozen=True)
 class LintConfig:
-    """Run-level knobs (rule selection; rules carry their own policy)."""
+    """Run-level knobs (rule selection; rules carry their own policy).
+
+    ``baseline`` points at a checked-in findings file whose entries do not
+    fail the run (see :mod:`repro.lint.baseline`); ``only_paths`` restricts
+    *reporting* to the given files while the whole path set is still
+    scanned, so cross-module rules keep their full context (``--diff``).
+    """
 
     select: tuple[str, ...] | None = None
     ignore: tuple[str, ...] = ()
+    baseline: str | Path | Baseline | None = None
+    only_paths: frozenset[str] | None = None
 
 
 @dataclass
@@ -37,6 +47,8 @@ class LintResult:
     findings: list[Finding] = field(default_factory=list)
     suppressed: int = 0
     files_checked: int = 0
+    baselined: int = 0
+    stale_baseline: int = 0
 
     @property
     def exit_code(self) -> int:
@@ -90,6 +102,7 @@ def run_lint(
     result = LintResult()
     raw_findings: list[Finding] = []
     suppressions: dict[str, SuppressionMap] = {}
+    modules: list[Module] = []
 
     for path in iter_python_files(paths):
         module, parse_error = _load_module(path)
@@ -99,15 +112,43 @@ def run_lint(
         assert module is not None
         result.files_checked += 1
         suppressions[module.path] = module.suppressions
+        modules.append(module)
         for rule in rules:
             raw_findings.extend(rule.check_module(module))
     for rule in rules:
         raw_findings.extend(rule.finalize())
 
+    # One shared whole-program context for every project-level rule.
+    project = ProjectContext(modules)
+    for rule in rules:
+        raw_findings.extend(rule.check_project(project))
+
+    survivors: list[Finding] = []
     for finding in sorted(set(raw_findings)):
         noqa = suppressions.get(finding.path)
         if noqa is not None and noqa.suppresses(finding.line, finding.code):
             result.suppressed += 1
         else:
-            result.findings.append(finding)
+            survivors.append(finding)
+
+    if config.baseline is not None:
+        baseline = (
+            config.baseline
+            if isinstance(config.baseline, Baseline)
+            else Baseline.load(config.baseline)
+        )
+        survivors, result.baselined = baseline.apply(survivors)
+        result.stale_baseline = sum(
+            entry.count - entry.matched for entry in baseline.stale_entries()
+        )
+
+    if config.only_paths is not None:
+        wanted = {norm_path(p) for p in config.only_paths}
+        survivors = [
+            f
+            for f in survivors
+            if any(paths_match(norm_path(f.path), w) for w in wanted)
+        ]
+
+    result.findings = survivors
     return result

@@ -67,22 +67,59 @@ class SuppressionMap:
 
     @classmethod
     def from_source(cls, source: str) -> SuppressionMap:
-        """Extract suppressions from comment tokens (never from strings)."""
+        """Extract suppressions from comment tokens (never from strings).
+
+        A directive inside a multi-line statement suppresses the whole
+        logical line — rules anchor findings at a statement's *first*
+        physical line, so a trailing ``noqa`` after a wrapped call
+        argument must reach back to it.  Logical-line extent is tracked
+        via tokenize: ``NEWLINE`` ends a logical line, ``NL`` (blank
+        lines, comment-only lines, continuations inside brackets) does
+        not.
+        """
         codes_by_line: dict[int, set[str]] = {}
+
+        def add(line: int, codes: set[str]) -> None:
+            existing = codes_by_line.get(line)
+            if existing is None:
+                codes_by_line[line] = set(codes)
+            elif not existing or not codes:
+                codes_by_line[line] = set()  # blanket wins
+            else:
+                existing.update(codes)
+
+        stmt_start: int | None = None
+        pending: list[set[str]] = []
         try:
             tokens = tokenize.generate_tokens(StringIO(source).readline)
             for token in tokens:
-                if token.type != tokenize.COMMENT:
+                if token.type == tokenize.COMMENT:
+                    match = _NOQA.search(token.string)
+                    if not match:
+                        continue
+                    raw = match.group(1)
+                    codes = (
+                        {p.strip().upper() for p in raw.split(",") if p.strip()}
+                        if raw
+                        else set()
+                    )
+                    add(token.start[0], codes)
+                    if stmt_start is not None:
+                        pending.append(codes)
+                elif token.type == tokenize.NEWLINE:
+                    if stmt_start is not None and pending:
+                        for line in range(stmt_start, token.start[0] + 1):
+                            for codes in pending:
+                                add(line, codes)
+                    stmt_start = None
+                    pending = []
+                elif token.type in (
+                    tokenize.NL, tokenize.INDENT, tokenize.DEDENT,
+                    tokenize.ENDMARKER,
+                ):
                     continue
-                match = _NOQA.search(token.string)
-                if not match:
-                    continue
-                raw = match.group(1)
-                codes_by_line[token.start[0]] = (
-                    {part.strip().upper() for part in raw.split(",") if part.strip()}
-                    if raw
-                    else set()
-                )
+                elif stmt_start is None:
+                    stmt_start = token.start[0]
         except tokenize.TokenError:
             # Untokenizable files produce a parse finding elsewhere; treat
             # them as having no suppressions rather than crashing the lint.

@@ -2,9 +2,12 @@
 
 A rule sees every scanned module once (:meth:`Rule.check_module`) and gets
 one :meth:`Rule.finalize` call after the walk, where cross-file rules (the
-telemetry-coverage check, for instance) reconcile what they saw.  Rules are
-instantiated fresh per lint run, so accumulated state never leaks between
-runs.
+telemetry-coverage check, for instance) reconcile what they saw.  Rules
+that need whole-program structure implement :meth:`Rule.check_project`
+instead and query the :class:`~repro.lint.project.ProjectContext` (symbol
+table, import graph, call graph, constant lattice) the engine builds once
+per run.  Rules are instantiated fresh per lint run, so accumulated state
+never leaks between runs.
 """
 
 from __future__ import annotations
@@ -53,6 +56,14 @@ class Rule:
 
     def finalize(self) -> Iterator[Finding]:
         """Yield cross-module findings once every module has been seen."""
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Yield findings against the shared whole-program context.
+
+        ``project`` is a :class:`~repro.lint.project.ProjectContext`
+        (untyped here to keep the registry import-light).
+        """
         return iter(())
 
     def finding(

@@ -13,10 +13,18 @@ def render_text(result: LintResult) -> str:
     """One ``path:line:col: CODE message`` line per finding plus a summary."""
     lines = [finding.render() for finding in result.findings]
     noun = "finding" if len(result.findings) == 1 else "findings"
+    extras = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed")
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    if result.stale_baseline:
+        extras.append(f"{result.stale_baseline} stale baseline entr"
+                      + ("y" if result.stale_baseline == 1 else "ies"))
     lines.append(
         f"checked {result.files_checked} file(s): "
         f"{len(result.findings)} {noun}"
-        + (f" ({result.suppressed} suppressed)" if result.suppressed else "")
+        + (f" ({', '.join(extras)})" if extras else "")
     )
     return "\n".join(lines)
 
@@ -26,7 +34,71 @@ def render_json(result: LintResult) -> str:
     payload = {
         "files_checked": result.files_checked,
         "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "stale_baseline": result.stale_baseline,
         "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: SARIF 2.1.0 — the interchange schema GitHub code scanning and most
+#: editors ingest.  Only the required subset is emitted, deterministically.
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(result: LintResult) -> str:
+    """Static Analysis Results Interchange Format (2.1.0) report."""
+    rules = [
+        {
+            "id": code,
+            "name": rule_cls.name,
+            "shortDescription": {"text": rule_cls.summary},
+        }
+        for code, rule_cls in sorted(RULES.items())
+    ]
+    rule_ids = [rule["id"] for rule in rules]
+    results = []
+    for finding in result.findings:
+        entry = {
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.code in rule_ids:
+            entry["ruleIndex"] = rule_ids.index(finding.code)
+        results.append(entry)
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri":
+                            "docs/linting.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 
@@ -44,4 +116,6 @@ def render(result: LintResult, fmt: str) -> str:
         return render_text(result)
     if fmt == "json":
         return render_json(result)
+    if fmt == "sarif":
+        return render_sarif(result)
     raise ConfigError(f"unknown report format {fmt!r}")

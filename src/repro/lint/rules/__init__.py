@@ -2,6 +2,26 @@
 
 from __future__ import annotations
 
-from . import constants, determinism, fingerprint, telemetry, thresholds
+from . import (
+    banks,
+    constants,
+    determinism,
+    fingerprint,
+    payloads,
+    taint,
+    telemetry,
+    thresholds,
+    twins,
+)
 
-__all__ = ["constants", "determinism", "fingerprint", "telemetry", "thresholds"]
+__all__ = [
+    "banks",
+    "constants",
+    "determinism",
+    "fingerprint",
+    "payloads",
+    "taint",
+    "telemetry",
+    "thresholds",
+    "twins",
+]

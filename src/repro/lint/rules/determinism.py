@@ -67,6 +67,88 @@ def _is_set_expr(node: ast.expr) -> bool:
     )
 
 
+def iter_hazards(root: ast.AST) -> Iterator[tuple[ast.AST, str, str]]:
+    """Yield ``(node, label, message)`` for every ambient-state read.
+
+    Shared by RPR001 (direct hazards inside guarded packages) and RPR007
+    (call-graph-transitive hazards): ``label`` is the short form used in
+    taint-path messages (``time.time()``, ``os.environ``), ``message`` the
+    full RPR001 diagnostic.
+    """
+    for node in ast.walk(root):
+        if isinstance(node, ast.Call):
+            yield from _call_hazards(node)
+        elif isinstance(node, ast.Attribute):
+            chain = attr_chain(node)
+            if chain[:2] == ("os", "environ"):
+                yield (
+                    node, "os.environ",
+                    "os.environ read inside a fingerprinted simulation "
+                    "path; environment state is not part of the cache "
+                    "key — thread it through the config instead",
+                )
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_set_expr(node.iter):
+                yield (
+                    node.iter, "set iteration",
+                    "iteration over a set has arbitrary order; iterate "
+                    "sorted(...) so results are reproducible",
+                )
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for comp in node.generators:
+                if _is_set_expr(comp.iter):
+                    yield (
+                        comp.iter, "set iteration",
+                        "comprehension over a set has arbitrary order; "
+                        "iterate sorted(...) so results are reproducible",
+                    )
+
+
+def _call_hazards(node: ast.Call) -> Iterator[tuple[ast.AST, str, str]]:
+    chain = attr_chain(node.func)
+    if not chain:
+        return
+    if chain[0] == "random" and len(chain) == 2:
+        if chain[1] in _GLOBAL_RANDOM_FNS:
+            yield (
+                node, f"random.{chain[1]}()",
+                f"random.{chain[1]}() uses the unseeded process-global "
+                "RNG; construct a random.Random(seed) from the config",
+            )
+    elif chain[0] in ("numpy", "np") and len(chain) >= 2 and chain[1] == "random":
+        seeded_rng = (
+            chain[-1] == "default_rng" and (node.args or node.keywords)
+        )
+        if not seeded_rng:
+            yield (
+                node, f"{'.'.join(chain)}()",
+                f"{'.'.join(chain)}() draws from numpy's global (or "
+                "unseeded) RNG; pass an explicit seed from the config",
+            )
+    elif chain[0] == "time" and len(chain) == 2 and chain[1] in _TIME_FNS:
+        yield (
+            node, f"time.{chain[1]}()",
+            f"time.{chain[1]}() reads the wall clock; simulation state "
+            "must depend only on simulated cycles",
+        )
+    elif chain[-1] in _DATETIME_FNS and len(chain) >= 2 and (
+        chain[-2] in ("datetime", "date")
+    ):
+        yield (
+            node, f"{'.'.join(chain)}()",
+            f"{'.'.join(chain)}() reads the wall clock; simulation "
+            "state must depend only on simulated cycles",
+        )
+    elif chain[:2] == ("os", "getenv"):
+        yield (
+            node, "os.getenv()",
+            "os.getenv() inside a fingerprinted simulation path; "
+            "environment state is not part of the cache key — thread "
+            "it through the config instead",
+        )
+
+
 @register
 class DeterminismRule(Rule):
     code = "RPR001"
@@ -79,74 +161,5 @@ class DeterminismRule(Rule):
     def check_module(self, module: Module) -> Iterator[Finding]:
         if not module.in_package(*GUARDED_PACKAGES):
             return
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.Call):
-                yield from self._check_call(module, node)
-            elif isinstance(node, ast.Attribute):
-                chain = attr_chain(node)
-                if chain[:2] == ("os", "environ"):
-                    yield self.finding(
-                        module, node,
-                        "os.environ read inside a fingerprinted simulation "
-                        "path; environment state is not part of the cache "
-                        "key — thread it through the config instead",
-                    )
-            elif isinstance(node, (ast.For, ast.AsyncFor)):
-                if _is_set_expr(node.iter):
-                    yield self.finding(
-                        module, node.iter,
-                        "iteration over a set has arbitrary order; iterate "
-                        "sorted(...) so results are reproducible",
-                    )
-            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
-                                   ast.GeneratorExp)):
-                for comp in node.generators:
-                    if _is_set_expr(comp.iter):
-                        yield self.finding(
-                            module, comp.iter,
-                            "comprehension over a set has arbitrary order; "
-                            "iterate sorted(...) so results are reproducible",
-                        )
-
-    def _check_call(self, module: Module, node: ast.Call) -> Iterator[Finding]:
-        chain = attr_chain(node.func)
-        if not chain:
-            return
-        if chain[0] == "random" and len(chain) == 2:
-            if chain[1] in _GLOBAL_RANDOM_FNS:
-                yield self.finding(
-                    module, node,
-                    f"random.{chain[1]}() uses the unseeded process-global "
-                    "RNG; construct a random.Random(seed) from the config",
-                )
-        elif chain[0] in ("numpy", "np") and len(chain) >= 2 and chain[1] == "random":
-            seeded_rng = (
-                chain[-1] == "default_rng" and (node.args or node.keywords)
-            )
-            if not seeded_rng:
-                yield self.finding(
-                    module, node,
-                    f"{'.'.join(chain)}() draws from numpy's global (or "
-                    "unseeded) RNG; pass an explicit seed from the config",
-                )
-        elif chain[0] == "time" and len(chain) == 2 and chain[1] in _TIME_FNS:
-            yield self.finding(
-                module, node,
-                f"time.{chain[1]}() reads the wall clock; simulation state "
-                "must depend only on simulated cycles",
-            )
-        elif chain[-1] in _DATETIME_FNS and len(chain) >= 2 and (
-            chain[-2] in ("datetime", "date")
-        ):
-            yield self.finding(
-                module, node,
-                f"{'.'.join(chain)}() reads the wall clock; simulation "
-                "state must depend only on simulated cycles",
-            )
-        elif chain[:2] == ("os", "getenv"):
-            yield self.finding(
-                module, node,
-                "os.getenv() inside a fingerprinted simulation path; "
-                "environment state is not part of the cache key — thread "
-                "it through the config instead",
-            )
+        for node, _label, message in iter_hazards(module.tree):
+            yield self.finding(module, node, message)

@@ -1,0 +1,274 @@
+"""RPR006 — scalar↔vector twin-path drift.
+
+Every scalar DTM policy in ``repro/dtm/`` (and the sedation FSM in
+``repro/core/sedation.py``) has a hand-mirrored NumPy twin inside
+``repro/sim/cohort.py``/``batch.py``.  The byte-identity guarantee rests
+on the two sides making *exactly* the same threshold comparisons in the
+same order with the same constants — drift is caught at runtime only by
+equivalence tests, late and only on covered configs.
+
+This rule makes the pairing explicit.  Regions are declared with anchor
+comments (grammar in ``docs/linting.md``)::
+
+    def on_sensor(self, reading):  # repro: twin(dvfs)
+        ...
+
+    hot = self.stalled & mask  # repro: twin(stopgo) begin
+    ...
+    self.engagements += 1  # repro: twin(stopgo) end
+
+Files ``sim/cohort.py``/``sim/batch.py`` are the *vector* side; every
+other file is *scalar*.  Each side's regions are concatenated in
+``(path, line)`` order and canonicalized into a fingerprint:
+
+* every comparison becomes an ordered **fact**: ``>``/``>=`` are mirrored
+  to ``<``/``<=`` (operands swapped) so direction flips are caught while
+  equivalent phrasings agree; symmetric operators (``==``/``!=``) sort
+  their operands;
+* names are alpha-renamed to roles in order of first appearance, so
+  renaming a variable on one side is *not* drift but reordering checks is;
+* ``code == CODE_*`` comparisons are dropped — vectorized policy dispatch
+  scaffolding with no scalar counterpart;
+* numeric literals in the region form a multiset, so a threshold edit on
+  one side fails even when it does not change the comparison structure.
+
+A mismatch produces a side-by-side rendering of both fact sequences and
+constant multisets, pointing at the first divergence.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import Counter
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from ..findings import Finding
+from ..registry import Rule, register
+from ..project import ProjectContext, TwinRegion
+
+#: Vectorized policy-dispatch scaffolding dropped from fingerprints.
+_CODE_CONST = re.compile(r"^CODE_[A-Z0-9_]+$")
+
+#: Comparison ops mirrored into ``<``/``<=`` form.
+_MIRROR = {"Gt": "Lt", "GtE": "LtE"}
+
+#: Operators whose operand order is semantically irrelevant.
+_SYMMETRIC = frozenset({"Eq", "NotEq"})
+
+
+def _descriptor(node: ast.expr) -> tuple:
+    """A canonical, side-comparable handle for one comparison operand."""
+    if isinstance(node, ast.Constant):
+        value = node.value
+        if isinstance(value, bool):
+            return ("bool", value)
+        if isinstance(value, (int, float)):
+            return ("num", float(value))
+        if isinstance(value, str):
+            return ("str", value)
+        if value is None:
+            return ("none",)
+        return ("const", repr(value))
+    if isinstance(node, ast.Name):
+        return ("sym", node.id.lower())
+    if isinstance(node, ast.Attribute):
+        return ("sym", node.attr.lower())
+    if isinstance(node, ast.Subscript):
+        return _descriptor(node.value)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return ("call", func.attr.lower())
+        if isinstance(func, ast.Name):
+            return ("call", func.id.lower())
+        return ("call", "?")
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _descriptor(node.operand)
+        if inner[0] == "num":
+            return ("num", -inner[1])
+    return ("expr", type(node).__name__.lower())
+
+
+def _is_scaffold(node: ast.expr) -> bool:
+    """``code``/``CODE_*`` operands: vector-side dispatch, not policy."""
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is None:
+        return False
+    return name == "code" or bool(_CODE_CONST.match(name))
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    facts: tuple[tuple, ...]
+    constants: tuple[tuple[float, int], ...]  # sorted (value, count) pairs
+
+
+def _region_nodes(region: TwinRegion) -> list[ast.AST]:
+    nodes = []
+    for node in ast.walk(region.module.tree):
+        line = getattr(node, "lineno", None)
+        if line is not None and region.start <= line <= region.end:
+            nodes.append(node)
+    return nodes
+
+
+def fingerprint_side(regions: list[TwinRegion]) -> Fingerprint:
+    """Canonical fingerprint of one side's concatenated regions."""
+    raw_facts: list[tuple[str, tuple, tuple]] = []
+    constants: Counter[float] = Counter()
+    compares: list[tuple[int, int, str, ast.expr, ast.expr]] = []
+    for region in regions:
+        for node in _region_nodes(region):
+            if isinstance(node, ast.Compare):
+                left = node.left
+                for op, right in zip(node.ops, node.comparators):
+                    compares.append(
+                        (node.lineno, node.col_offset,
+                         type(op).__name__, left, right)
+                    )
+                    left = right
+            elif isinstance(node, ast.Constant) and isinstance(
+                node.value, (int, float)
+            ) and not isinstance(node.value, bool):
+                constants[float(node.value)] += 1
+    compares.sort(key=lambda item: (item[0], item[1]))
+
+    roles: dict[str, int] = {}
+
+    def canon(desc: tuple) -> tuple:
+        if desc[0] == "sym":
+            role = roles.setdefault(desc[1], len(roles))
+            return ("sym", role)
+        return desc
+
+    for _line, _col, opname, left, right in compares:
+        if _is_scaffold(left) or _is_scaffold(right):
+            continue
+        left_d, right_d = _descriptor(left), _descriptor(right)
+        if opname in _MIRROR:
+            opname = _MIRROR[opname]
+            left_d, right_d = right_d, left_d
+        left_c, right_c = canon(left_d), canon(right_d)
+        if opname in _SYMMETRIC and right_c < left_c:
+            left_c, right_c = right_c, left_c
+        raw_facts.append((opname, left_c, right_c))
+
+    return Fingerprint(
+        facts=tuple(raw_facts),
+        constants=tuple(sorted(constants.items())),
+    )
+
+
+_OP_TEXT = {
+    "Lt": "<", "LtE": "<=", "Eq": "==", "NotEq": "!=",
+    "Is": "is", "IsNot": "is not", "In": "in", "NotIn": "not in",
+}
+
+
+def _render_desc(desc: tuple) -> str:
+    kind = desc[0]
+    if kind == "sym":
+        return f"x{desc[1]}"
+    if kind == "num":
+        value = desc[1]
+        return str(int(value)) if value == int(value) else repr(value)
+    if kind == "call":
+        return f"{desc[1]}()"
+    if kind == "str":
+        return repr(desc[1])
+    if kind == "bool":
+        return str(desc[1])
+    if kind == "none":
+        return "None"
+    return f"<{desc[1] if len(desc) > 1 else kind}>"
+
+
+def render_facts(fp: Fingerprint) -> str:
+    rendered = [
+        f"{_render_desc(left)} {_OP_TEXT.get(op, op)} {_render_desc(right)}"
+        for op, left, right in fp.facts
+    ]
+    return "[" + ", ".join(rendered) + "]"
+
+
+def render_constants(fp: Fingerprint) -> str:
+    parts = []
+    for value, count in fp.constants:
+        text = str(int(value)) if value == int(value) else repr(value)
+        parts.append(text if count == 1 else f"{text}x{count}")
+    return "{" + ", ".join(parts) + "}"
+
+
+def _first_divergence(a: Fingerprint, b: Fingerprint) -> str:
+    for index, (fa, fb) in enumerate(zip(a.facts, b.facts)):
+        if fa != fb:
+            return (
+                f"fact {index + 1}: "
+                f"'{render_facts(Fingerprint((fa,), ()))[1:-1]}' vs "
+                f"'{render_facts(Fingerprint((fb,), ()))[1:-1]}'"
+            )
+    if len(a.facts) != len(b.facts):
+        return f"fact count {len(a.facts)} vs {len(b.facts)}"
+    missing = Counter(dict(a.constants)) - Counter(dict(b.constants))
+    extra = Counter(dict(b.constants)) - Counter(dict(a.constants))
+    drifted = sorted(set(missing) | set(extra))
+    return "constants " + ", ".join(
+        f"{int(v) if v == int(v) else v} "
+        f"(scalar x{Counter(dict(a.constants))[v]}, "
+        f"vector x{Counter(dict(b.constants))[v]})"
+        for v in drifted
+    )
+
+
+def _span(regions: list[TwinRegion]) -> str:
+    return ", ".join(
+        f"{r.module.path}:{r.start}-{r.end}" for r in regions
+    )
+
+
+@register
+class TwinPathRule(Rule):
+    code = "RPR006"
+    name = "twin-path-drift"
+    summary = (
+        "scalar/vector twin regions (# repro: twin(tag)) whose "
+        "canonicalized comparisons or constants no longer match"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for module, line, message in project.twin_errors:
+            yield Finding(module.path, line, 1, self.code, message)
+        for tag in sorted(project.twin_regions):
+            sides = project.twin_regions[tag]
+            scalar = sides.get("scalar", [])
+            vector = sides.get("vector", [])
+            if not scalar or not vector:
+                present = scalar or vector
+                missing = "vector" if not vector else "scalar"
+                anchor = present[0]
+                yield Finding(
+                    anchor.module.path, anchor.anchor_line, 1, self.code,
+                    f"twin '{tag}' has no {missing} side; declare a matching "
+                    f"# repro: twin({tag}) region on the other side of the "
+                    "scalar/vector mirror",
+                )
+                continue
+            fp_scalar = fingerprint_side(scalar)
+            fp_vector = fingerprint_side(vector)
+            if fp_scalar == fp_vector:
+                continue
+            anchor = vector[0]
+            yield Finding(
+                anchor.module.path, anchor.anchor_line, 1, self.code,
+                f"twin '{tag}' drifted at {_first_divergence(fp_scalar, fp_vector)} "
+                f"| scalar {render_facts(fp_scalar)} "
+                f"consts {render_constants(fp_scalar)} ({_span(scalar)}) "
+                f"| vector {render_facts(fp_vector)} "
+                f"consts {render_constants(fp_vector)} ({_span(vector)})",
+            )

@@ -235,7 +235,7 @@ class LaneDTM:
 
     # -- transition evaluation ---------------------------------------------
 
-    def on_sensor_stalled(self, hottest: np.ndarray) -> bool:
+    def on_sensor_stalled(self, hottest: np.ndarray) -> bool:  # repro: twin(stopgo, sedation-stall-release)
         """Stalled-cohort boundary: the resume check, nothing else.
 
         Only stop-and-go and sedation lanes can be in a stalled cohort, and
@@ -267,13 +267,13 @@ class LaneDTM:
         code = self.code
         throttled = self.slowdown > 1  # pre-boundary state, like the scalar
 
-        mask = (code == CODE_STOP_AND_GO) & (hottest >= self.emergency)
+        mask = (code == CODE_STOP_AND_GO) & (hottest >= self.emergency)  # repro: twin(stopgo) begin
         if mask.any():
             self.stalled[mask] = True
             self.engagements[mask] += 1
-            changed = True
+            changed = True  # repro: twin(stopgo) end
 
-        is_dvfs = code == CODE_DVFS
+        is_dvfs = code == CODE_DVFS  # repro: twin(dvfs) begin
         mask = is_dvfs & throttled & (hottest <= self.resume)
         if mask.any():
             self.slowdown[mask] = 1
@@ -284,21 +284,21 @@ class LaneDTM:
             self.slowdown[mask] = self.dvfs_slowdown[mask]
             self.power_scale[mask] = self.dvfs_power[mask]
             self.engagements[mask] += 1
-            changed = True
+            changed = True  # repro: twin(dvfs) end
 
         is_ttdfs = code == CODE_TTDFS
         if is_ttdfs.any():
             np.maximum(
                 self.peak_seen, hottest, out=self.peak_seen, where=is_ttdfs
             )
-            over = hottest - self.ttdfs_tracking
+            over = hottest - self.ttdfs_tracking  # repro: twin(ttdfs-cool) begin
             mask = is_ttdfs & (over <= 0.0) & (self.slowdown != 1)
             if mask.any():
                 self.slowdown[mask] = 1
                 self.power_scale[mask] = 1.0
-                changed = True
+                changed = True  # repro: twin(ttdfs-cool) end
             hot = np.flatnonzero(is_ttdfs & (over > 0.0))
-            if hot.size:
+            if hot.size:  # repro: twin(ttdfs-step) begin
                 # int() truncation == floor for the positive values here.
                 steps = 1 + (
                     over[hot] / self.ttdfs_degrees[hot]
@@ -310,9 +310,9 @@ class LaneDTM:
                     self.slowdown[moved] = wanted[delta]
                     self.power_scale[moved] = 1.0
                     self.engagements[moved] += 1
-                    changed = True
+                    changed = True  # repro: twin(ttdfs-step) end
 
-        is_gating = code == CODE_FETCH_GATING
+        is_gating = code == CODE_FETCH_GATING  # repro: twin(fetch-gating) begin
         mask = is_gating & throttled & (hottest <= self.resume)
         if mask.any():
             self.slowdown[mask] = 1
@@ -321,14 +321,14 @@ class LaneDTM:
         if mask.any():
             self.slowdown[mask] = 2
             self.engagements[mask] += 1
-            changed = True
+            changed = True  # repro: twin(fetch-gating) end
 
         is_sedation = code == CODE_SEDATION
         if is_sedation.any():
-            safety = is_sedation & (hottest >= self.emergency)
+            safety = is_sedation & (hottest >= self.emergency)  # repro: twin(sedation-safety-net) begin
             for lane in np.flatnonzero(safety):
                 self._safety_net(int(lane))
-                changed = True
+                changed = True  # repro: twin(sedation-safety-net) end
             calm = np.flatnonzero(is_sedation & ~safety)
             if calm.size:
                 # Vector gate: a lane's FSM only has work when some block
@@ -351,7 +351,7 @@ class LaneDTM:
 
     # -- the per-lane sedation FSM (scalar controller, minus telemetry) ----
 
-    def _sedation_fsm(
+    def _sedation_fsm(  # repro: twin(sedation-fsm)
         self,
         lane: int,
         cycle: int,
@@ -394,7 +394,7 @@ class LaneDTM:
     ) -> bool:
         sed_row = self.sedated[lane]
         throttle_row = self.throttle[lane]
-        candidates = [
+        candidates = [  # repro: twin(sedation-culprit-floor) begin
             tid
             for tid in range(len(sed_row))
             if not sed_row[tid] and not throttle_row[tid] and not halted[tid]
@@ -402,7 +402,7 @@ class LaneDTM:
         if len(candidates) < 2:
             # The last unsedated thread cannot degrade any other thread:
             # let it run; the stop-and-go safety net guards the emergency.
-            return False
+            return False  # repro: twin(sedation-culprit-floor) end
         best = -1
         best_average = -1.0
         for tid in candidates:
@@ -432,9 +432,9 @@ class LaneDTM:
 
     def _safety_net(self, lane: int) -> None:
         """Emergency despite sedation: stall, release everyone, reset FSMs."""
-        self.stalled[lane] = True
+        self.stalled[lane] = True  # repro: twin(sedation-safety-net) begin
         self.engagements[lane] += 1
-        self.safety_nets[lane] += 1
+        self.safety_nets[lane] += 1  # repro: twin(sedation-safety-net) end
         sets = self.sedated_for[lane]
         members: set[int] = set()
         for block_members in sets:

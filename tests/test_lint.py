@@ -470,6 +470,8 @@ class TestReporters:
         assert payload == {
             "files_checked": 4,
             "suppressed": 2,
+            "baselined": 0,
+            "stale_baseline": 0,
             "findings": [
                 {"path": "src/a.py", "line": 3, "col": 5,
                  "code": "RPR001", "message": "wall clock read"},
@@ -478,9 +480,10 @@ class TestReporters:
             ],
         }
 
-    def test_rule_catalog_lists_all_five(self):
+    def test_rule_catalog_lists_all_nine(self):
         catalog = render_rules()
-        for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+                     "RPR006", "RPR007", "RPR008", "RPR009"):
             assert code in catalog
 
 

@@ -1,0 +1,884 @@
+"""repro.lint v2: project context, cross-module rules, baseline, CLI.
+
+The v1 rules keep their fixtures in ``test_lint.py``; this file covers the
+project-wide analysis context (symbol table, import/call graph, constant
+lattice, dict shapes, twin regions) and everything built on it: RPR006
+twin-path drift (with the mutation matrix the CI gate relies on), RPR007
+transitive determinism taint, RPR008 payload schemas, RPR009 bank shapes,
+the findings baseline, the SARIF reporter, multi-line suppression, and the
+``--rule``/``--diff`` CLI flags.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import shutil
+import subprocess
+import textwrap
+import time
+from pathlib import Path
+
+from repro.lint import Finding, LintConfig, LintResult, run_lint
+from repro.lint.baseline import Baseline, paths_match
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import _load_module, iter_python_files
+from repro.lint.findings import SuppressionMap
+from repro.lint.project import (
+    UNKNOWN,
+    ProjectContext,
+    const_eval,
+    dict_shape_at,
+    module_dotted_name,
+)
+from repro.lint.report import render_sarif
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_tree(tmp_path: Path, files: dict[str, str]) -> None:
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+
+
+def lint_tree(
+    tmp_path: Path,
+    files: dict[str, str],
+    select: tuple[str, ...] | None = None,
+    **config,
+) -> LintResult:
+    write_tree(tmp_path, files)
+    return run_lint([tmp_path], LintConfig(select=select, **config))
+
+
+def build_context(tmp_path: Path, files: dict[str, str]) -> ProjectContext:
+    write_tree(tmp_path, files)
+    modules = []
+    for path in iter_python_files([tmp_path]):
+        module, error = _load_module(path)
+        assert error is None, error
+        modules.append(module)
+    return ProjectContext(modules)
+
+
+def codes(result: LintResult) -> list[str]:
+    return [finding.code for finding in result.findings]
+
+
+# -- the project context ------------------------------------------------------
+
+
+class TestProjectContext:
+    def test_symbol_table_and_dotted_names(self, tmp_path):
+        ctx = build_context(tmp_path, {
+            "dtm/policy.py": """\
+                def helper():
+                    pass
+
+                class Policy:
+                    def on_sensor(self, reading):
+                        pass
+                """,
+        })
+        info = ctx.modules[0]
+        assert info.dotted.endswith("dtm.policy")
+        assert set(info.functions) == {"helper", "Policy.on_sensor"}
+        fi = info.functions["Policy.on_sensor"]
+        assert fi.qualname == f"{info.dotted}::Policy.on_sensor"
+        assert fi.class_name == "Policy" and fi.short == "Policy.on_sensor"
+
+    def test_repro_rooted_dotted_name(self):
+        module, _ = _load_module(REPO_ROOT / "src" / "repro" / "dtm" / "dvfs.py")
+        assert module_dotted_name(module) == "repro.dtm.dvfs"
+
+    def test_imported_symbol_call_edge(self, tmp_path):
+        ctx = build_context(tmp_path, {
+            "analysis/util.py": """\
+                def stamp():
+                    return 0
+                """,
+            "sim/run.py": """\
+                from analysis.util import stamp
+
+                def simulate():
+                    return stamp()
+                """,
+        })
+        caller = next(q for q in ctx.call_graph if q.endswith("::simulate"))
+        callees = [callee for callee, _call in ctx.call_graph[caller]]
+        assert len(callees) == 1 and callees[0].endswith("util::stamp")
+
+    def test_self_method_call_edge(self, tmp_path):
+        ctx = build_context(tmp_path, {
+            "sim/core.py": """\
+                class Core:
+                    def step(self):
+                        self.tick()
+
+                    def tick(self):
+                        pass
+                """,
+        })
+        caller = next(q for q in ctx.call_graph if q.endswith("::Core.step"))
+        callees = [callee for callee, _call in ctx.call_graph[caller]]
+        assert callees == [caller.replace("Core.step", "Core.tick")]
+
+    def test_find_module_suffix_and_ambiguity(self, tmp_path):
+        ctx = build_context(tmp_path, {
+            "analysis/util.py": "A = 1\n",
+            "plots/util.py": "B = 2\n",
+            "analysis/io.py": "C = 3\n",
+        })
+        assert ctx.find_module("analysis.util") is not None
+        assert ctx.find_module("analysis.io").constants == {"C": 3}
+        # Two modules end in ".util": a bare suffix must not guess.
+        assert ctx.find_module("util") is None
+
+    def test_constant_lattice(self, tmp_path):
+        ctx = build_context(tmp_path, {
+            "config.py": """\
+                BASE = 2
+                SCALED = BASE * 3 + 1
+                NAMES = ("x", "y")
+                OPAQUE = object()
+                """,
+        })
+        constants = ctx.modules[0].constants
+        assert constants["BASE"] == 2 and constants["SCALED"] == 7
+        assert constants["NAMES"] == ("x", "y")
+        assert "OPAQUE" not in constants
+
+    def test_const_eval_unknown_propagates(self):
+        env = {"A": 3}
+        assert const_eval(ast.parse("A - 1", mode="eval").body, env) == 2
+        assert const_eval(ast.parse("A + B", mode="eval").body, env) is UNKNOWN
+        assert const_eval(ast.parse("-A", mode="eval").body, env) == -3
+
+    def test_dict_shape_tracks_branch_keys(self, tmp_path):
+        source = textwrap.dedent("""\
+            def fire(session, ok):
+                data = {"a": 1}
+                data["b"] = "x"
+                if ok:
+                    data["c"] = 2
+                session.emit(data)
+            """)
+        tree = ast.parse(source)
+        func = tree.body[0]
+        call = next(
+            node for node in ast.walk(func)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+        )
+        shape = dict_shape_at(func, "data", call)
+        assert shape.required == {"a", "b"} and shape.optional == {"c"}
+        assert shape.kinds["a"] == {"num"} and shape.kinds["b"] == {"str"}
+        assert not shape.dynamic
+
+    def test_dict_shape_unpack_is_dynamic(self):
+        source = "def fire(session, extra):\n    data = {**extra}\n    session.emit(data)\n"
+        func = ast.parse(source).body[0]
+        call = next(
+            node for node in ast.walk(func) if isinstance(node, ast.Call)
+        )
+        shape = dict_shape_at(func, "data", call)
+        assert shape.dynamic
+
+
+# -- RPR006: twin-path drift --------------------------------------------------
+
+
+SCALAR_TWIN = """\
+    class Policy:
+        def on_sensor(self, reading):  # repro: twin(demo)
+            if reading.hot >= self.emergency:
+                self.stalled = True
+                self.engagements += 1
+    """
+
+VECTOR_TWIN = """\
+    def on_sensor(hot, emergency, stalled, engagements):  # repro: twin(demo)
+        mask = hot >= emergency
+        stalled[mask] = True
+        engagements[mask] += 1
+    """
+
+
+class TestTwinPathRule:
+    def test_matching_pair_is_clean(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "dtm/policy.py": SCALAR_TWIN,
+            "sim/cohort.py": VECTOR_TWIN,
+        }, select=("RPR006",))
+        assert result.findings == []
+
+    def test_threshold_constant_edit_fires(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "dtm/policy.py": SCALAR_TWIN,
+            "sim/cohort.py": VECTOR_TWIN.replace("+= 1", "+= 2"),
+        }, select=("RPR006",))
+        assert codes(result) == ["RPR006"]
+        message = result.findings[0].message
+        assert "constants" in message and "scalar" in message
+
+    def test_operator_flip_fires(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "dtm/policy.py": SCALAR_TWIN,
+            "sim/cohort.py": VECTOR_TWIN.replace(">=", ">"),
+        }, select=("RPR006",))
+        assert codes(result) == ["RPR006"]
+        assert "'x0 <= x1' vs 'x0 < x1'" in result.findings[0].message
+
+    def test_rename_only_stays_clean(self, tmp_path):
+        renamed = (
+            VECTOR_TWIN.replace("hot", "temp_k").replace("emergency", "limit")
+        )
+        result = lint_tree(tmp_path, {
+            "dtm/policy.py": SCALAR_TWIN,
+            "sim/cohort.py": renamed,
+        }, select=("RPR006",))
+        assert result.findings == []
+
+    def test_reordered_comparisons_fire(self, tmp_path):
+        scalar = """\
+            class Policy:
+                def check(self, r):  # repro: twin(ladder)
+                    if r.hot <= self.resume:
+                        self.state = 0
+                    if r.hot >= self.emergency:
+                        self.state = 2
+            """
+        vector = """\
+            def check(hot, resume, emergency, state):  # repro: twin(ladder)
+                if (hot >= emergency).any():
+                    state = 2
+                if (hot <= resume).any():
+                    state = 0
+            """
+        result = lint_tree(tmp_path, {
+            "dtm/policy.py": scalar,
+            "sim/cohort.py": vector,
+        }, select=("RPR006",))
+        assert codes(result) == ["RPR006"]
+
+    def test_vector_dispatch_scaffolding_is_dropped(self, tmp_path):
+        scalar = """\
+            class Policy:
+                def on_sensor(self, reading):  # repro: twin(scaf)
+                    if reading.hot >= self.emergency:
+                        self.engagements += 1
+            """
+        vector = """\
+            CODE_STOP = 3
+
+            def step(code, hot, emergency, engagements):  # repro: twin(scaf)
+                mask = (code == CODE_STOP) & (hot >= emergency)
+                engagements[mask] += 1
+            """
+        result = lint_tree(tmp_path, {
+            "dtm/policy.py": scalar,
+            "sim/cohort.py": vector,
+        }, select=("RPR006",))
+        assert result.findings == []
+
+    def test_begin_end_span_pairs_with_trailing_anchor(self, tmp_path):
+        scalar = """\
+            class Policy:
+                def on_sensor(self, reading):  # repro: twin(span)
+                    if reading.hot >= self.emergency:
+                        self.engagements += 1
+            """
+        vector = """\
+            def step(hot, emergency, engagements, other):
+                mask = hot >= emergency  # repro: twin(span) begin
+                engagements[mask] += 1  # repro: twin(span) end
+                other[0] = 99
+            """
+        result = lint_tree(tmp_path, {
+            "dtm/policy.py": scalar,
+            "sim/cohort.py": vector,
+        }, select=("RPR006",))
+        # The 99 outside the span must not leak into the fingerprint.
+        assert result.findings == []
+
+    def test_one_sided_tag_fires(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "dtm/policy.py": SCALAR_TWIN,
+        }, select=("RPR006",))
+        assert codes(result) == ["RPR006"]
+        assert "no vector side" in result.findings[0].message
+
+    def test_unterminated_begin_fires(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "dtm/policy.py": "x = 1  # repro: twin(t1) begin\n",
+        }, select=("RPR006",))
+        assert codes(result) == ["RPR006"]
+        assert "never closed" in result.findings[0].message
+
+    def test_end_without_begin_fires(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "dtm/policy.py": "x = 1  # repro: twin(t2) end\n",
+        }, select=("RPR006",))
+        assert codes(result) == ["RPR006"]
+        assert "without a matching begin" in result.findings[0].message
+
+    def test_suppressed_one_sided_tag(self, tmp_path):
+        source = SCALAR_TWIN.replace(
+            "# repro: twin(demo)",
+            "# repro: twin(demo)  # repro: noqa(RPR006) scalar-only for now",
+        )
+        result = lint_tree(tmp_path, {
+            "dtm/policy.py": source,
+        }, select=("RPR006",))
+        assert result.findings == [] and result.suppressed == 1
+
+    def test_real_tree_sedation_threshold_mutation(self, tmp_path):
+        """The CI gate: drifting a sedation threshold in cohort.py fires."""
+        shutil.copytree(REPO_ROOT / "src", tmp_path / "src")
+        cohort = tmp_path / "src" / "repro" / "sim" / "cohort.py"
+        text = cohort.read_text()
+        pristine = "safety = is_sedation & (hottest >= self.emergency)"
+        assert pristine in text
+        cohort.write_text(
+            text.replace(pristine, pristine.replace(">=", ">"), 1)
+        )
+        result = run_lint([tmp_path / "src"], LintConfig(select=("RPR006",)))
+        assert codes(result) == ["RPR006"]
+        assert "sedation-safety-net" in result.findings[0].message
+
+
+# -- RPR007: transitive determinism taint -------------------------------------
+
+
+class TestTransitiveTaintRule:
+    def test_helper_routed_wall_clock_fires(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "analysis/util.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+                """,
+            "sim/run.py": """\
+                from analysis.util import stamp
+
+                def simulate():
+                    return stamp()
+                """,
+        }, select=("RPR007",))
+        assert codes(result) == ["RPR007"]
+        finding = result.findings[0]
+        assert finding.path.endswith("sim/run.py")
+        assert "simulate() reaches time.time() through stamp" in finding.message
+
+    def test_two_hop_chain_is_spelled_out(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "analysis/inner.py": """\
+                import time
+
+                def now():
+                    return time.time()
+                """,
+            "analysis/outer.py": """\
+                from analysis.inner import now
+
+                def wrap():
+                    return now()
+                """,
+            "sim/run.py": """\
+                from analysis.outer import wrap
+
+                def simulate():
+                    return wrap()
+                """,
+        }, select=("RPR007",))
+        assert codes(result) == ["RPR007"]
+        assert "wrap -> now" in result.findings[0].message
+
+    def test_sanctioned_helper_does_not_taint(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "analysis/util.py": """\
+                import time
+
+                def stamp():
+                    return time.time()  # repro: noqa(RPR007) wall time is display-only here
+                """,
+            "sim/run.py": """\
+                from analysis.util import stamp
+
+                def simulate():
+                    return stamp()
+                """,
+        }, select=("RPR007",))
+        assert result.findings == []
+
+    def test_direct_hazard_in_guarded_code_is_rpr001_business(self, tmp_path):
+        files = {
+            "sim/run.py": """\
+                import time
+
+                def simulate():
+                    return time.time()
+                """,
+        }
+        taint_only = lint_tree(tmp_path, files, select=("RPR007",))
+        assert taint_only.findings == []
+        both = run_lint([tmp_path], LintConfig(select=("RPR001", "RPR007")))
+        assert codes(both) == ["RPR001"]
+
+    def test_guarded_helper_is_a_taint_barrier(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "sim/helper.py": """\
+                import time
+
+                def now():
+                    return time.time()
+                """,
+            "sim/run.py": """\
+                from sim.helper import now
+
+                def simulate():
+                    return now()
+                """,
+        }, select=("RPR007",))
+        assert result.findings == []
+
+
+# -- RPR008: payload schema consistency ---------------------------------------
+
+
+class TestPayloadSchemaRule:
+    def test_key_set_drift_fires_on_the_outlier(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "telemetry/a.py": """\
+                def fire(session, cycle):
+                    session.emit(EventType.STEP, cycle, data={"slowdown": 2})
+                """,
+            "telemetry/b.py": """\
+                def fire(session, cycle):
+                    session.emit(
+                        EventType.STEP, cycle,
+                        data={"slowdown": 3, "mechanism": "dvfs"},
+                    )
+                """,
+        }, select=("RPR008",))
+        assert codes(result) == ["RPR008"]
+        finding = result.findings[0]
+        assert finding.path.endswith("telemetry/b.py")
+        assert "differ from {slowdown}" in finding.message
+
+    def test_value_kind_drift_fires(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "telemetry/a.py": """\
+                def fire(session, cycle):
+                    session.emit(EventType.STEP, cycle, data={"slowdown": 2})
+                """,
+            "telemetry/b.py": """\
+                def fire(session, cycle):
+                    session.emit(EventType.STEP, cycle, data={"slowdown": "slow"})
+                """,
+        }, select=("RPR008",))
+        assert codes(result) == ["RPR008"]
+        assert "mixes value kinds" in result.findings[0].message
+
+    def test_conditional_key_fires(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "telemetry/a.py": """\
+                def fire(session, cycle, failed):
+                    data = {"slowdown": 2}
+                    if failed:
+                        data["error"] = "boom"
+                    session.emit(EventType.STEP, cycle, data=data)
+                """,
+        }, select=("RPR008",))
+        assert codes(result) == ["RPR008"]
+        assert "conditional keys {error}" in result.findings[0].message
+
+    def test_dynamic_payload_fires(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "telemetry/a.py": """\
+                def fire(session, cycle, extra):
+                    session.emit(EventType.STEP, cycle, data={**extra})
+                """,
+        }, select=("RPR008",))
+        assert codes(result) == ["RPR008"]
+        assert "not statically analyzable" in result.findings[0].message
+
+    def test_consistent_sites_are_clean(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "telemetry/a.py": """\
+                def fire(session, cycle):
+                    session.emit(EventType.STEP, cycle, data={"slowdown": 2})
+                """,
+            "telemetry/b.py": """\
+                def fire(session, cycle):
+                    session.emit(EventType.STEP, cycle, data={"slowdown": 4})
+                """,
+            "telemetry/c.py": """\
+                def fire(session, cycle):
+                    session.emit(EventType.OTHER, cycle)
+                """,
+        }, select=("RPR008",))
+        assert result.findings == []
+
+    def test_suppressed_variant_site(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "telemetry/a.py": """\
+                def fire(session, cycle):
+                    session.emit(EventType.STEP, cycle, data={"slowdown": 2})
+                def fire_more(session, cycle):
+                    session.emit(EventType.STEP, cycle, data={"slowdown": 3})
+                """,
+            "telemetry/b.py": """\
+                def fire(session, cycle):
+                    session.emit(  # repro: noqa(RPR008) deliberate variant
+                        EventType.STEP, cycle,
+                        data={"slowdown": 3, "mechanism": "dvfs"},
+                    )
+                """,
+        }, select=("RPR008",))
+        assert result.findings == [] and result.suppressed == 1
+
+
+# -- RPR009: SoA bank shapes --------------------------------------------------
+
+
+_BANK_TEMPLATE = textwrap.dedent("""\
+    import numpy as np
+
+    _ARRAY_FIELDS = {fields}
+
+    class Bank:
+        def __init__(self, n):
+            self.x = np.zeros(n, dtype=np.float64)
+            self.y = np.zeros(n, dtype=np.int64)
+            self.n = n
+
+        def take(self, idx):
+            clone = Bank.__new__(Bank)
+    {body}
+            clone.n = 1
+            return clone
+    """)
+
+
+def bank_module(fields: str, take_body: str) -> str:
+    body = textwrap.indent(textwrap.dedent(take_body), " " * 8).rstrip("\n")
+    return _BANK_TEMPLATE.format(fields=fields, body=body)
+
+
+GATHER_LOOP = """\
+    for name in _ARRAY_FIELDS:
+        setattr(clone, name, getattr(self, name)[idx])
+    """
+
+
+class TestBankShapeRule:
+    def test_complete_gather_loop_is_clean(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "sim/banks.py": bank_module('("x", "y")', GATHER_LOOP),
+        }, select=("RPR009",))
+        assert result.findings == []
+
+    def test_missing_array_field_fires(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "sim/banks.py": bank_module('("x",)', GATHER_LOOP),
+        }, select=("RPR009",))
+        assert codes(result) == ["RPR009"]
+        assert "does not carry array field 'y'" in result.findings[0].message
+
+    def test_stale_field_list_entry_fires(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "sim/banks.py": bank_module('("x", "y", "z")', GATHER_LOOP),
+        }, select=("RPR009",))
+        assert codes(result) == ["RPR009"]
+        assert "'z'" in result.findings[0].message
+        assert "stale" in result.findings[0].message
+
+    def test_clone_dtype_mismatch_fires(self, tmp_path):
+        body = """\
+            clone.x = np.zeros(len(idx), dtype=np.int32)
+            clone.y = self.y[idx]
+            """
+        result = lint_tree(tmp_path, {
+            "sim/banks.py": bank_module("()", body),
+        }, select=("RPR009",))
+        assert codes(result) == ["RPR009"]
+        assert "different dtype" in result.findings[0].message
+
+    def test_unresolvable_gather_loop_is_skipped(self, tmp_path):
+        body = """\
+            for name in self.fields():
+                setattr(clone, name, getattr(self, name)[idx])
+            """
+        result = lint_tree(tmp_path, {
+            "sim/banks.py": bank_module("()", body),
+        }, select=("RPR009",))
+        assert result.findings == []
+
+    def test_non_guarded_package_is_exempt(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "analysis/banks.py": bank_module('("x",)', GATHER_LOOP),
+        }, select=("RPR009",))
+        assert result.findings == []
+
+    def test_suppressed_clone_method(self, tmp_path):
+        source = bank_module('("x",)', GATHER_LOOP).replace(
+            "def take(self, idx):",
+            "def take(self, idx):  # repro: noqa(RPR009) y is rebuilt lazily",
+        )
+        result = lint_tree(tmp_path, {
+            "sim/banks.py": source,
+        }, select=("RPR009",))
+        assert result.findings == [] and result.suppressed == 1
+
+
+# -- the findings baseline ----------------------------------------------------
+
+
+class TestBaseline:
+    def test_round_trip_absorbs_everything(self, tmp_path):
+        findings = [
+            Finding("src/a.py", 3, 1, "RPR003", "magic constant"),
+            Finding("src/a.py", 9, 1, "RPR003", "magic constant"),
+            Finding("src/b.py", 2, 1, "RPR001", "wall clock"),
+        ]
+        baseline = Baseline.from_findings(findings)
+        path = tmp_path / "baseline.json"
+        baseline.write(path)
+        loaded = Baseline.load(path)
+        survivors, absorbed = loaded.apply(findings)
+        assert survivors == [] and absorbed == 3
+        assert loaded.stale_entries() == []
+
+    def test_counts_cap_absorption_and_reveal_staleness(self, tmp_path):
+        two = [
+            Finding("src/a.py", 3, 1, "RPR003", "magic constant"),
+            Finding("src/a.py", 9, 1, "RPR003", "magic constant"),
+        ]
+        baseline = Baseline.from_findings(two)
+        # Three findings against a count-2 entry: one survives.
+        survivors, absorbed = baseline.apply(
+            two + [Finding("src/a.py", 20, 1, "RPR003", "magic constant")]
+        )
+        assert len(survivors) == 1 and absorbed == 2
+        # One finding against a count-2 entry: the entry is stale.
+        survivors, absorbed = baseline.apply(two[:1])
+        assert survivors == [] and absorbed == 1
+        assert len(baseline.stale_entries()) == 1
+
+    def test_render_is_deterministic(self):
+        findings = [
+            Finding("src/b.py", 2, 1, "RPR001", "wall clock"),
+            Finding("src/a.py", 3, 1, "RPR003", "magic constant"),
+        ]
+        first = Baseline.from_findings(findings).render()
+        second = Baseline.from_findings(list(reversed(findings))).render()
+        assert first == second
+        assert json.loads(first)["schema"] == 1
+
+    def test_path_matching_tolerates_prefixes(self):
+        assert paths_match("src/repro/x.py", "src/repro/x.py")
+        assert paths_match("/repo/src/repro/x.py", "src/repro/x.py")
+        assert paths_match("src/repro/x.py", "/repo/src/repro/x.py")
+        assert not paths_match("src/repro/x.py", "repro_x.py")
+
+    def test_engine_subtracts_baselined_findings(self, tmp_path):
+        files = {"dtm/policy.py": "EMERGENCY = 358.0\n"}
+        flagged = lint_tree(tmp_path, files, select=("RPR003",))
+        assert codes(flagged) == ["RPR003"]
+        baseline = Baseline.from_findings(flagged.findings)
+        gated = run_lint(
+            [tmp_path], LintConfig(select=("RPR003",), baseline=baseline)
+        )
+        assert gated.findings == [] and gated.baselined == 1
+        assert gated.exit_code == 0
+
+    def test_engine_counts_stale_entries(self, tmp_path):
+        write_tree(tmp_path, {"dtm/policy.py": "x = 1\n"})
+        baseline = Baseline.from_findings(
+            [Finding("dtm/policy.py", 1, 1, "RPR003", "gone finding")]
+        )
+        result = run_lint([tmp_path], LintConfig(baseline=baseline))
+        assert result.stale_baseline == 1
+
+    def test_checked_in_baseline_matches_the_tree(self):
+        result = run_lint(
+            [REPO_ROOT / "src"],
+            LintConfig(baseline=REPO_ROOT / "tools" / "lint_baseline.json"),
+        )
+        assert result.findings == [] and result.stale_baseline == 0
+
+    def test_update_tool_is_deterministic(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_tree(tmp_path, {"src/dtm/policy.py": "EMERGENCY = 358.0\n"})
+        argv = [str(tmp_path / "src"), "--baseline", str(target), "--update"]
+        for _ in range(2):
+            proc = subprocess.run(
+                ["python", str(REPO_ROOT / "tools" / "lint_baseline.py"), *argv],
+                capture_output=True, text=True,
+            )
+            assert proc.returncode == 0, proc.stdout + proc.stderr
+        first = target.read_text()
+        payload = json.loads(first)
+        assert payload["findings"][0]["code"] == "RPR003"
+        check = subprocess.run(
+            ["python", str(REPO_ROOT / "tools" / "lint_baseline.py"),
+             str(tmp_path / "src"), "--baseline", str(target), "--check"],
+            capture_output=True, text=True,
+        )
+        assert check.returncode == 0, check.stdout + check.stderr
+
+
+# -- multi-line suppression (regression) --------------------------------------
+
+
+class TestMultiLineSuppression:
+    def test_noqa_inside_wrapped_statement_covers_its_span(self):
+        source = (
+            "value = compute(\n"
+            "    358.0,\n"
+            "    # repro: noqa(RPR003) wrapped-call fixture\n"
+            ")\n"
+        )
+        noqa = SuppressionMap.from_source(source)
+        for line in (1, 2, 3, 4):
+            assert noqa.suppresses(line, "RPR003"), line
+        assert not noqa.suppresses(1, "RPR001")
+
+    def test_standalone_comment_only_covers_its_own_line(self):
+        source = "# repro: noqa(RPR003) not attached\nvalue = 358.0\n"
+        noqa = SuppressionMap.from_source(source)
+        assert noqa.suppresses(1, "RPR003")
+        assert not noqa.suppresses(2, "RPR003")
+
+    def test_wrapped_hazard_call_is_suppressed_end_to_end(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "sim/clock.py": """\
+                import time
+
+                def now():
+                    return time.time(
+                        # repro: noqa(RPR001) diagnostics only
+                    )
+                """,
+        }, select=("RPR001",))
+        assert result.findings == [] and result.suppressed == 1
+
+
+# -- SARIF reporter -----------------------------------------------------------
+
+
+class TestSarifReporter:
+    def test_structure_and_rule_index(self):
+        result = LintResult(
+            findings=[Finding("src/a.py", 3, 5, "RPR006", "drifted")],
+            files_checked=1,
+        )
+        payload = json.loads(render_sarif(result))
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.lint"
+        ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert ids == sorted(ids) and len(ids) == 9
+        entry = run["results"][0]
+        assert entry["ruleId"] == "RPR006"
+        assert ids[entry["ruleIndex"]] == "RPR006"
+        location = entry["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/a.py"
+        assert location["region"] == {"startLine": 3, "startColumn": 5}
+
+    def test_clean_run_has_no_results(self):
+        payload = json.loads(render_sarif(LintResult(files_checked=2)))
+        assert payload["runs"][0]["results"] == []
+
+
+# -- CLI: --rule and --diff ---------------------------------------------------
+
+
+def _git(cwd: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", "-c", "user.name=test", "-c", "user.email=test@example.com",
+         *args],
+        cwd=cwd, check=True, capture_output=True,
+    )
+
+
+class TestCLIFlags:
+    def test_rule_flag_narrows_selection(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "dtm/policy.py": "EMERGENCY = 358.0\n",
+            "sim/clock.py": "import time\nT = time.time()\n",
+        })
+        status = lint_main([str(tmp_path), "--rule", "RPR003"])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "RPR003" in out and "RPR001" not in out
+
+    def test_rule_flag_is_repeatable(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "dtm/policy.py": "EMERGENCY = 358.0\n",
+            "sim/clock.py": "import time\nT = time.time()\n",
+        })
+        status = lint_main(
+            [str(tmp_path), "--rule", "RPR003", "--rule", "RPR001"]
+        )
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "RPR003" in out and "RPR001" in out
+
+    def test_diff_reports_only_changed_files(self, tmp_path, monkeypatch, capsys):
+        write_tree(tmp_path, {
+            "dtm/stable.py": "EMERGENCY = 358.0\n",
+            "dtm/edited.py": "UPPER = 356.5\n",
+        })
+        _git(tmp_path, "init", "-q")
+        _git(tmp_path, "add", "-A")
+        _git(tmp_path, "commit", "-qm", "seed")
+        (tmp_path / "dtm" / "edited.py").write_text(
+            "UPPER = 356.5\nEMERGENCY = 358.0\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        status = lint_main([".", "--diff", "--rule", "RPR003"])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "edited.py" in out and "stable.py" not in out
+
+    def test_output_writes_report_and_prints_summary(self, tmp_path, capsys):
+        write_tree(tmp_path, {"dtm/policy.py": "EMERGENCY = 358.0\n"})
+        target = tmp_path / "lint.sarif"
+        status = lint_main([
+            str(tmp_path / "dtm"), "--rule", "RPR003",
+            "--format", "sarif", "--output", str(target),
+        ])
+        out = capsys.readouterr().out
+        assert status == 1
+        payload = json.loads(target.read_text())
+        assert payload["runs"][0]["results"][0]["ruleId"] == "RPR003"
+        assert "1 finding" in out  # the one-line text pulse
+
+    def test_baseline_flag_gates_on_regressions_only(self, tmp_path, capsys):
+        write_tree(tmp_path, {"dtm/policy.py": "EMERGENCY = 358.0\n"})
+        baseline = tmp_path / "baseline.json"
+        flagged = run_lint([tmp_path], LintConfig(select=("RPR003",)))
+        Baseline.from_findings(flagged.findings).write(baseline)
+        status = lint_main([
+            str(tmp_path), "--rule", "RPR003", "--baseline", str(baseline),
+        ])
+        out = capsys.readouterr().out
+        assert status == 0 and "1 baselined" in out
+
+
+# -- performance budget -------------------------------------------------------
+
+
+class TestRuntimeBudget:
+    def test_full_tree_under_ten_seconds(self):
+        start = time.monotonic()
+        result = run_lint([REPO_ROOT / "src"])
+        elapsed = time.monotonic() - start
+        assert result.files_checked > 50
+        assert elapsed < 10.0, f"lint took {elapsed:.1f}s"

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Maintain the checked-in repro.lint baseline (tools/lint_baseline.json).
+
+The baseline lets new lint rules gate CI on *regressions* immediately
+while the findings that existed when a rule landed burn down over time
+(see ``repro/lint/baseline.py`` for matching semantics).
+
+    python tools/lint_baseline.py --update   # refresh from a clean run
+    python tools/lint_baseline.py --check    # report stale entries
+
+``--update`` is deterministic: entries are sorted and the JSON layout is
+stable, so re-running it on an unchanged tree is a no-op diff.  ``--check``
+exits non-zero when entries no longer match any finding — prune them with
+``--update`` so the ratchet only ever tightens.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint.baseline import Baseline  # noqa: E402
+from repro.lint.engine import LintConfig, run_lint  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "tools" / "lint_baseline.json"
+DEFAULT_PATHS = [str(REPO_ROOT / "src")]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths", nargs="*", default=DEFAULT_PATHS,
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE), metavar="FILE",
+        help="baseline file to update/check (default: tools/lint_baseline.json)",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from a fresh lint run",
+    )
+    mode.add_argument(
+        "--check", action="store_true",
+        help="fail if any baseline entry no longer matches a finding",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_lint(args.paths, LintConfig())
+    # Relativize so baselines are stable across checkouts.
+    findings = [_relativized(f) for f in result.findings]
+
+    if args.update:
+        baseline = Baseline.from_findings(findings)
+        baseline.write(args.baseline)
+        print(
+            f"wrote {len(baseline.entries)} entr"
+            + ("y" if len(baseline.entries) == 1 else "ies")
+            + f" to {args.baseline}"
+        )
+        return 0
+
+    baseline = Baseline.load(args.baseline)
+    survivors, absorbed = baseline.apply(findings)
+    stale = baseline.stale_entries()
+    for entry in stale:
+        print(
+            f"stale: {entry.path}: {entry.code} {entry.message} "
+            f"(matched {entry.matched} of {entry.count})"
+        )
+    if survivors:
+        print(f"{len(survivors)} finding(s) not covered by the baseline:")
+        for finding in survivors:
+            print(f"  {finding.render()}")
+    print(
+        f"{absorbed} baselined, {len(stale)} stale entr"
+        + ("y" if len(stale) == 1 else "ies")
+        + f", {len(survivors)} new"
+    )
+    return 1 if stale or survivors else 0
+
+
+def _relativized(finding):
+    try:
+        rel = Path(finding.path).resolve().relative_to(REPO_ROOT)
+    except ValueError:
+        return finding
+    return type(finding)(
+        rel.as_posix(), finding.line, finding.col, finding.code,
+        finding.message,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
