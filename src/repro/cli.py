@@ -15,6 +15,10 @@ Commands (documented with examples in docs/cli.md):
   fault plan and compare what the defense still delivers.
 * ``campaign-summary`` — list or render the campaign rollups written
   beside the run cache by ``run_many`` (docs/telemetry.md).
+* ``campaign`` — list, inspect, or resume durable campaign journals
+  (``repro campaign resume <id>`` finishes an interrupted campaign —
+  docs/robustness.md).
+* ``cache`` — cache-directory statistics and the quarantine listing.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from . import __version__
 from .analysis import format_table, strip_chart, trace_to_csv
@@ -398,6 +403,122 @@ def cmd_campaign_summary(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    from .sim.durable import cache_stats, quarantine_entries
+
+    stats = cache_stats(args.cache_dir)
+    if args.json:
+        payload = dict(stats, quarantine=quarantine_entries(args.cache_dir))
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    kinds = " ".join(
+        f"{kind}={count}" for kind, count in sorted(stats["kinds"].items())
+    )
+    versions = " ".join(
+        f"v{version}={count}"
+        for version, count in sorted(stats["format_versions"].items())
+    )
+    rows = [
+        ["entries", stats["entries"], kinds or "-"],
+        ["bytes", stats["bytes"], ""],
+        ["result formats", len(stats["format_versions"]), versions or "-"],
+        ["rollups", stats["rollups"], ""],
+        ["campaign journals", stats["campaigns"], ""],
+        ["stale tmp files", stats["stale_tmp"], ""],
+        ["unreadable entries", stats["unreadable"], ""],
+        ["quarantined", stats["quarantined"], ""],
+    ]
+    print(format_table(
+        ["metric", "count", "detail"], rows,
+        title=f"cache {stats['cache_dir']}",
+    ))
+    quarantined = quarantine_entries(args.cache_dir)
+    if quarantined:
+        print(format_table(
+            ["quarantined entry", "bytes", "reason"],
+            [[e["file"][:28], e["bytes"], e["reason"]] for e in quarantined],
+        ))
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    from .sim.durable import (
+        list_campaigns,
+        resume_campaign,
+        results_to_canonical_json,
+    )
+    from .sim.parallel import RunFailure
+
+    if args.action == "list":
+        rows = [
+            [
+                row.get("campaign", "?")[:16],
+                row.get("slots", "?"),
+                row.get("completed", "?"),
+                row.get("failed", "?"),
+                row.get("skipped", "?"),
+                row.get("sealed", row.get("error", "?")),
+            ]
+            for row in list_campaigns(args.cache_dir)
+        ]
+        if not rows:
+            print(f"no campaign journals under {args.cache_dir}/journal")
+            return 0
+        print(format_table(
+            ["campaign", "slots", "done", "failed", "skipped", "state"],
+            rows,
+            title=f"durable campaigns in {args.cache_dir}",
+        ))
+        return 0
+
+    if not args.id:
+        raise ReproError(f"campaign {args.action} needs a campaign id")
+
+    if args.action == "show":
+        from .sim.durable import _find_journal, replay
+
+        state = replay(_find_journal(Path(args.cache_dir), args.id))
+        payload = {
+            "campaign": state.campaign_id,
+            "slots": len(state.manifest),
+            "specs": len(state.order),
+            "completed": sorted(state.completed),
+            "failed": sorted(state.failed),
+            "skipped": sorted(state.skipped),
+            "leases": state.leases,
+            "breakers": sorted(state.breakers),
+            "sealed": state.sealed or "open",
+            "options": state.options,
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+
+    # resume
+    results = resume_campaign(
+        args.id,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        force=args.force,
+        retries=args.retries,
+        raise_on_error=False,
+    )
+    failures = [r for r in results if isinstance(r, RunFailure)]
+    print(
+        f"campaign resumed: {len(results) - len(failures)} of "
+        f"{len(results)} slot(s) ok"
+    )
+    for failure in failures[:5]:
+        print(
+            f"  {'+'.join(failure.workloads)}: {failure.kind} "
+            f"({failure.error})"
+        )
+    if len(failures) > 5:
+        print(f"  ... {len(failures) - 5} more")
+    if args.canonical:
+        print(results_to_canonical_json(results))
+    return 1 if failures else 0
+
+
 def cmd_temps(args) -> int:
     config = _config(args)
     model = RCThermalModel(config.thermal)
@@ -558,6 +679,36 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--json", action="store_true",
                           help="print the raw rollup document")
     campaign.set_defaults(func=cmd_campaign_summary)
+
+    durable = sub.add_parser(
+        "campaign",
+        help="list, inspect, or resume durable campaign journals")
+    durable.add_argument("action", choices=("list", "show", "resume"),
+                         help="list journals, show one, or resume one")
+    durable.add_argument("id", nargs="?", default=None,
+                         help="campaign id (unique prefix ok)")
+    durable.add_argument("--cache-dir", default=".repro_cache",
+                         help="run cache holding the journal/ directory")
+    durable.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for the resumed tail")
+    durable.add_argument("--force", action="store_true",
+                         help="re-close open circuit breakers and re-run "
+                              "failed/skipped specs")
+    durable.add_argument("--retries", type=int, default=None,
+                         help="override the journaled retry budget for "
+                              "the resumed tail")
+    durable.add_argument("--canonical", action="store_true",
+                         help="print the canonical result JSON (the "
+                              "byte-identity yardstick)")
+    durable.set_defaults(func=cmd_campaign)
+
+    cache = sub.add_parser(
+        "cache", help="cache-directory statistics and quarantine listing")
+    cache.add_argument("--cache-dir", default=".repro_cache",
+                       help="cache directory to inspect")
+    cache.add_argument("--json", action="store_true",
+                       help="print raw statistics as JSON")
+    cache.set_defaults(func=cmd_cache)
 
     temps = sub.add_parser("temps", help="print the temperature ladder")
     _add_common(temps)

@@ -191,7 +191,14 @@ class WorkerFaultPlan:
       ``hang_attempts`` sleep for ``hang_seconds`` before running, long
       enough to trip a per-spec timeout;
     * ``fail_attempts`` — attempts below this raise a transient
-      :class:`repro.errors.FaultError` (the retry-then-succeed shape).
+      :class:`repro.errors.FaultError` (the retry-then-succeed shape);
+    * ``interrupt_attempts`` — attempts below this raise
+      ``KeyboardInterrupt`` exactly **once per process** (the first time
+      such an attempt executes), simulating an operator Ctrl-C or a
+      supervisor's SIGTERM landing mid-campaign.  Firing once per process
+      lets the same spec complete when a durable campaign is resumed in
+      the same interpreter, which is precisely the kill-mid-campaign →
+      resume scenario the hook exists to exercise.
 
     These faults live on the config (and therefore in the cache
     fingerprint) so chaos runs are reproducible and never collide with
@@ -202,9 +209,11 @@ class WorkerFaultPlan:
     hang_attempts: int = 0
     hang_seconds: float = 0.0
     fail_attempts: int = 0
+    interrupt_attempts: int = 0
 
     def __post_init__(self) -> None:
-        for name in ("crash_attempts", "hang_attempts", "fail_attempts"):
+        for name in ("crash_attempts", "hang_attempts", "fail_attempts",
+                     "interrupt_attempts"):
             if getattr(self, name) < 0:
                 raise ConfigError(f"{name} must be >= 0")
         if self.hang_seconds < 0:

@@ -2,6 +2,20 @@
 
 from .batch import batch_fingerprint, simulate_lockstep
 from .campaign import CampaignResult, QuantumRecord, run_campaign
+from .durable import (
+    JOURNAL_DIR,
+    CampaignJournal,
+    CampaignState,
+    breaker_family,
+    cache_stats,
+    derive_campaign_id,
+    list_campaigns,
+    quarantine_entries,
+    replay,
+    results_to_canonical_json,
+    resume_campaign,
+    run_durable,
+)
 from .experiment import ExperimentRunner
 from .parallel import (
     RUNNER_METRICS,
@@ -23,19 +37,31 @@ from .simulator import Simulator, run_workloads
 from .stats import RunResult, ThreadStats
 
 __all__ = [
+    "CampaignJournal",
     "CampaignResult",
     "CampaignSpec",
+    "CampaignState",
     "ExperimentRunner",
+    "JOURNAL_DIR",
     "RUNNER_METRICS",
     "RunFailure",
     "RunResult",
     "RunSpec",
     "ROLLUP_DIR",
     "batch_fingerprint",
+    "breaker_family",
     "build_rollup",
+    "cache_stats",
+    "derive_campaign_id",
+    "list_campaigns",
     "list_rollups",
     "load_rollup",
+    "quarantine_entries",
+    "replay",
+    "results_to_canonical_json",
+    "resume_campaign",
     "rollup_key",
+    "run_durable",
     "run_many",
     "run_workloads",
     "QuantumRecord",

@@ -125,7 +125,10 @@ class RunFailure:
     Takes the failed spec's slot in :func:`run_many`'s result list, so a
     partial campaign stays index-aligned with its input.  ``kind`` is
     ``"timeout"``, ``"crash"`` (the pool broke and the serial re-run also
-    failed), or ``"error"``; ``attempts`` counts every attempt made
+    failed), ``"error"``, ``"interrupted"`` (an operator interrupt drained
+    the batch before this spec finished), or ``"breaker_open"`` (a durable
+    campaign's circuit breaker skipped the spec — see
+    :mod:`repro.sim.durable`); ``attempts`` counts every attempt made
     (1 + retries at most).  Failures are never written to the cache.
     """
 
@@ -219,6 +222,13 @@ def _execute(spec: RunSpec | CampaignSpec) -> RunResult | CampaignResult:
     )
 
 
+#: Spec fingerprints whose injected ``interrupt_attempts`` chaos hook has
+#: already fired in this process.  The hook fires once per process so that
+#: an in-process resume of the interrupted campaign can make progress —
+#: mirroring a real operator interrupt, which does not repeat on resume.
+_INTERRUPTED_ONCE: set[str] = set()
+
+
 def _execute_attempt(
     spec: RunSpec | CampaignSpec, attempt: int
 ) -> RunResult | CampaignResult:
@@ -232,6 +242,13 @@ def _execute_attempt(
     plan = spec.config.faults
     chaos = plan.worker if plan is not None else None
     if chaos is not None:
+        if attempt < chaos.interrupt_attempts:
+            key = spec_fingerprint(spec)
+            if key not in _INTERRUPTED_ONCE:
+                _INTERRUPTED_ONCE.add(key)
+                raise KeyboardInterrupt(
+                    f"injected operator interrupt (attempt {attempt})"
+                )
         if attempt < chaos.crash_attempts:
             if _IN_WORKER:
                 os._exit(13)  # hard worker death: the pool breaks
@@ -551,6 +568,70 @@ def _chunk_size(pending: int, workers: int) -> int:
     return max(1, pending // (4 * workers))
 
 
+#: Wall seconds an already-running chunk is granted to finish after an
+#: operator interrupt (the graceful-drain budget).  Never-started futures
+#: are cancelled outright; once one running chunk overstays this grace the
+#: remaining ones are abandoned without further waiting.
+DRAIN_GRACE_S = 5.0
+
+
+def _book_interrupted(
+    work: list[tuple[str, RunSpec | CampaignSpec]],
+    attempts: dict[str, int],
+    outcomes: dict[str, RunResult | CampaignResult | RunFailure],
+) -> None:
+    """Record an ``interrupted`` failure for every still-unresolved spec.
+
+    Interrupted slots are bookkeeping, not failed attempts: they consume no
+    retry budget and do not count toward ``runner.failures`` — a resumed
+    campaign re-dispatches them with their attempt counters intact.
+    """
+    for key, spec in work:
+        if key in outcomes:
+            continue
+        RUNNER_METRICS.inc("runner.interrupted_specs")
+        outcomes[key] = RunFailure(
+            workloads=spec.workloads,
+            fingerprint=key,
+            kind="interrupted",
+            error="operator interrupt before completion",
+            attempts=attempts.get(key, 0),
+        )
+
+
+def _drain_interrupted_pool(
+    futures: list,
+    remaining: list[tuple[str, RunSpec | CampaignSpec]],
+    attempts: dict[str, int],
+    outcomes: dict[str, RunResult | CampaignResult | RunFailure],
+) -> None:
+    """Bounded drain of a pool round after an operator interrupt.
+
+    Futures that never started are cancelled; chunks already running in a
+    worker get :data:`DRAIN_GRACE_S` to finish, and their completed slots
+    are booked normally (work already paid for is kept).  The first chunk
+    to overstay its grace forfeits the remaining chunks' wait — a drain
+    must terminate even when a worker is hung.  No retries are queued
+    during a drain; everything unresolved becomes an ``interrupted`` slot.
+    """
+    grace = DRAIN_GRACE_S
+    for future, chunk in futures:
+        if future.cancel():
+            continue
+        try:
+            slots = future.result(timeout=grace)
+        except KeyboardInterrupt:
+            # A second interrupt aborts the drain: book and get out.
+            break
+        except BaseException:  # noqa: BLE001 - timeout/crash: stop waiting
+            grace = 0.0
+            continue
+        for (key, _spec), (status, value) in zip(chunk, slots, strict=True):
+            if status == "ok" and key not in outcomes:
+                outcomes[key] = value
+    _book_interrupted(remaining, attempts, outcomes)
+
+
 def _run_pool(
     work: list[tuple[str, RunSpec | CampaignSpec]],
     attempts: dict[str, int],
@@ -571,6 +652,14 @@ def _run_pool(
     degradation, not abort.  In-process, an injected crash raises
     :class:`~repro.errors.FaultError` instead of killing the caller, so
     the normal retry bookkeeping applies.
+
+    A ``KeyboardInterrupt`` (operator Ctrl-C, supervisor SIGTERM translated
+    by :mod:`repro.sim.durable`) triggers a *graceful drain* instead of a
+    stack unwind: pending futures are cancelled, in-flight chunks get a
+    bounded grace to finish (:func:`_drain_interrupted_pool`), and every
+    spec without a result is booked as an ``interrupted``
+    :class:`RunFailure` so the caller returns index-aligned partial
+    results.
     """
     remaining = work
     while remaining:
@@ -583,6 +672,7 @@ def _run_pool(
             remaining[start : start + size]
             for start in range(0, len(remaining), size)
         ]
+        futures: list = []
         try:
             futures = [
                 (
@@ -639,6 +729,10 @@ def _run_pool(
                                 key, spec, status, str(value), attempts,
                                 retries, outcomes, retry_list,
                             )
+        except KeyboardInterrupt:
+            RUNNER_METRICS.inc("runner.interrupts")
+            _drain_interrupted_pool(futures, remaining, attempts, outcomes)
+            return
         except BrokenProcessPool:
             RUNNER_METRICS.inc("runner.pool_breaks")
             survivors = [
@@ -654,12 +748,17 @@ def _run_pool(
             pool.shutdown(wait=False, cancel_futures=True)
         remaining = retry_list
         if remaining:
-            time.sleep(
-                max(
-                    _backoff_seconds(key, attempts[key])
-                    for key, _ in remaining
+            try:
+                time.sleep(
+                    max(
+                        _backoff_seconds(key, attempts[key])
+                        for key, _ in remaining
+                    )
                 )
-            )
+            except KeyboardInterrupt:
+                RUNNER_METRICS.inc("runner.interrupts")
+                _book_interrupted(remaining, attempts, outcomes)
+                return
 
 
 def _run_lockstep_groups(
@@ -785,6 +884,8 @@ def run_many(
     raise_on_error: bool = True,
     batch: bool = True,
     telemetry=None,
+    rollup: bool = True,
+    resume: str | None = None,
 ) -> list[RunResult | CampaignResult | RunFailure]:
     """Run a batch of specs, in parallel, through the on-disk cache.
 
@@ -817,6 +918,23 @@ def run_many(
     A crashed worker process (``BrokenProcessPool``) never aborts the
     batch: every spec without a result is re-executed serially.
 
+    An operator interrupt (``KeyboardInterrupt``) triggers a graceful
+    drain instead of an abort: dispatch stops, in-flight pool chunks get a
+    bounded grace to finish, completed outcomes are cached, and every
+    unfinished spec's slot is filled with a
+    :class:`RunFailure`(``kind="interrupted"``).  With
+    ``raise_on_error=False`` the partial, index-aligned result list is
+    returned; with the default ``raise_on_error=True`` the
+    ``KeyboardInterrupt`` is re-raised *after* that cleanup, so the cache
+    (and any durable-campaign journal) reflects everything that finished.
+
+    ``rollup=False`` suppresses the per-batch rollup document (the durable
+    layer drives several partial waves through here and publishes one
+    rollup for the whole campaign itself).  ``resume=<campaign_id>``
+    ignores ``specs`` (which must be empty) and replays a durable
+    campaign's journal instead — a convenience alias for
+    :func:`repro.sim.durable.resume_campaign`.
+
     Observability: ``telemetry`` (a
     :class:`~repro.telemetry.TelemetrySession`) receives one
     ``LANE_COMPLETE`` event per input slot — tagged with the execution
@@ -831,6 +949,29 @@ def run_many(
     if timeout is not None and timeout <= 0:
         raise SimulationError("timeout must be positive")
     spec_list = list(specs)
+    if resume is not None:
+        if spec_list:
+            raise SimulationError(
+                "run_many(resume=...) replays the journal's own manifest; "
+                "pass an empty spec list"
+            )
+        from .durable import resume_campaign
+
+        overrides: dict = {}
+        if timeout is not None:
+            overrides["timeout"] = timeout
+        if retries:
+            overrides["retries"] = retries
+        if not batch:
+            overrides["batch"] = False
+        return resume_campaign(
+            resume,
+            cache_dir=cache_dir if cache else None,
+            jobs=jobs,
+            raise_on_error=raise_on_error,
+            telemetry=telemetry,
+            **overrides,
+        )
     directory = Path(cache_dir) if (cache and cache_dir is not None) else None
     if directory is not None and directory.is_dir():
         _sweep_stale_tmp(directory)
@@ -857,40 +998,58 @@ def run_many(
             pending[key] = [index]
             order.append(key)
 
+    interrupted = False
     if order:
         work = [(key, spec_list[pending[key][0]]) for key in order]
         attempts = dict.fromkeys(order, 0)
         outcomes: dict[str, RunResult | CampaignResult | RunFailure] = {}
         workers = default_jobs() if jobs is None else max(1, jobs)
-        if batch:
-            _run_lockstep_groups(work, outcomes, timeout, lane_info)
-            for key in outcomes:
-                sources[key] = "batch"
-        unresolved = [(key, spec) for key, spec in work if key not in outcomes]
-        if not unresolved:
-            pass
-        elif workers <= 1 or len(unresolved) == 1:
-            _run_serial(unresolved, attempts, timeout, retries, outcomes)
-            for key, _ in unresolved:
-                sources.setdefault(key, "serial")
-        else:
-            _run_pool(
-                unresolved, attempts, timeout, retries, outcomes, workers
-            )
-            for key, _ in unresolved:
-                sources.setdefault(key, "pool")
+        try:
+            if batch:
+                _run_lockstep_groups(work, outcomes, timeout, lane_info)
+                for key in outcomes:
+                    sources[key] = "batch"
+            unresolved = [
+                (key, spec) for key, spec in work if key not in outcomes
+            ]
+            if not unresolved:
+                pass
+            elif workers <= 1 or len(unresolved) == 1:
+                _run_serial(unresolved, attempts, timeout, retries, outcomes)
+                for key, _ in unresolved:
+                    sources.setdefault(key, "serial")
+            else:
+                _run_pool(
+                    unresolved, attempts, timeout, retries, outcomes, workers
+                )
+                for key, _ in unresolved:
+                    sources.setdefault(key, "pool")
+        except KeyboardInterrupt:
+            # The serial and batch tiers unwind to here on Ctrl-C/SIGTERM;
+            # the pool tier drains internally and returns normally.  Either
+            # way every unresolved spec gets an index-aligned slot.
+            RUNNER_METRICS.inc("runner.interrupts")
+            _book_interrupted(work, attempts, outcomes)
         for key, spec in work:
             outcome = outcomes[key]
-            if not isinstance(outcome, RunFailure):
+            if isinstance(outcome, RunFailure):
+                if outcome.kind == "interrupted":
+                    interrupted = True
+                    sources[key] = "drained"
+            else:
                 _cache_store(directory, key, spec, outcome)
             for index in pending[key]:
                 results[index] = outcome
+        if interrupted and directory is not None and directory.is_dir():
+            # A drain may have abandoned workers mid-write; their tmp files
+            # are dead-pid garbage once the pool is gone.
+            _sweep_stale_tmp(directory)
 
     if telemetry is not None and telemetry.enabled:
         _emit_campaign_events(
             telemetry, spec_list, keys, results, sources, lane_info
         )
-    if directory is not None and len(spec_list) >= 2:
+    if directory is not None and len(spec_list) >= 2 and rollup and not interrupted:
         from .rollup import build_rollup, write_rollup
 
         payload = build_rollup(
@@ -909,6 +1068,13 @@ def run_many(
             )
 
     failures = [r for r in results if isinstance(r, RunFailure)]
+    if interrupted and raise_on_error:
+        # Cleanup is done (completed outcomes cached, tmp files swept);
+        # now honor the interrupt so callers' handlers still fire.
+        raise KeyboardInterrupt(
+            f"interrupted: {len(failures)} of {len(spec_list)} spec(s) "
+            "unfinished"
+        )
     if failures and raise_on_error:
         detail = "; ".join(
             f"{'+'.join(f.workloads)}: {f.kind} after {f.attempts} "

@@ -52,6 +52,7 @@ from .summary import (
     FAULT_EVENT_TYPES,
     batch_narrative,
     counts_by_type,
+    durable_narrative,
     fault_injection_counts,
     filter_events,
     iter_filtered,
@@ -83,6 +84,7 @@ __all__ = [
     "batch_narrative",
     "columnar_meta",
     "counts_by_type",
+    "durable_narrative",
     "FAULT_EVENT_TYPES",
     "fault_injection_counts",
     "filter_events",

@@ -22,6 +22,7 @@ from .events import NARRATIVE_TYPES, Event, EventType
 from .summary import (
     FAULT_EVENT_TYPES,
     batch_narrative,
+    durable_narrative,
     narrative_line,
     ring_narrative,
     sedation_episode_line,
@@ -129,6 +130,10 @@ class StreamingSummary:
             if batch_lines:
                 lines.append("batch execution:")
                 lines.extend("  " + line for line in batch_lines)
+            durable_lines = durable_narrative(batch_counters)
+            if durable_lines:
+                lines.append("campaign recovery:")
+                lines.extend("  " + line for line in durable_lines)
         if self._narrative:
             lines.append("narrative:")
             lines.extend("  " + line for line in self._narrative)

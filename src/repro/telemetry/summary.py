@@ -176,6 +176,23 @@ def narrative_line(event: Event) -> str:
             f"{data.get('runs', '?')} runs -> "
             f"rollup {str(data.get('key', '?'))[:12]}"
         )
+    elif event.type is EventType.CAMPAIGN_LEASE:
+        detail = (
+            f"spec {str(data.get('fingerprint', '?'))[:12]} leased by "
+            f"pid {data.get('pid', '?')} (wave {data.get('wave', '?')})"
+        )
+    elif event.type is EventType.CAMPAIGN_RESUME:
+        detail = (
+            f"campaign {data.get('campaign', '?')} resumed: "
+            f"{data.get('completed', '?')} done, "
+            f"{data.get('pending', '?')} pending, "
+            f"{data.get('reclaimed', '?')} leases reclaimed"
+        )
+    elif event.type is EventType.BREAKER_OPEN:
+        detail = (
+            f"family {data.get('family', '?')} tripped open after "
+            f"{data.get('attempts', '?')} attempt(s)"
+        )
     else:
         detail = ""
     return (
@@ -218,6 +235,46 @@ def batch_narrative(counters: dict[str, int]) -> list[str]:
     ]
     if errors:
         lines.append(f"{errors} group errors fell back to the scalar path")
+    return lines
+
+
+def durable_narrative(counters: dict[str, int]) -> list[str]:
+    """Human-readable lines describing durable-campaign recovery activity.
+
+    ``counters`` is the same flat counter mapping ``batch_narrative``
+    consumes (``RUNNER_METRICS.counters``), read here for the
+    ``runner.campaign_*`` / ``runner.breaker_*`` keys written by
+    :mod:`repro.sim.durable`.  Empty when no journal-backed campaign ran
+    in this process, so the section never perturbs plain-run summaries.
+    """
+    lines = []
+    resumes = counters.get("runner.campaign_resumes", 0)
+    if resumes:
+        verified = counters.get("runner.campaign_verified", 0)
+        missing = counters.get("runner.campaign_reverify_missing", 0)
+        lines.append(
+            f"{resumes} campaign resume(s): {verified} cached result(s) "
+            f"verified, {missing} re-dispatched after cache divergence"
+        )
+    reclaimed = counters.get("runner.campaign_reclaimed", 0)
+    if reclaimed:
+        lines.append(
+            f"{reclaimed} orphaned lease(s) reclaimed from dead or "
+            f"stale pids"
+        )
+    trips = counters.get("runner.breaker_trips", 0)
+    skipped = counters.get("runner.breaker_skipped", 0)
+    if trips or skipped:
+        lines.append(
+            f"circuit breaker: {trips} family(ies) tripped open, "
+            f"{skipped} spec(s) skipped while open"
+        )
+    drained = counters.get("runner.campaign_drained", 0)
+    if drained:
+        lines.append(
+            f"{drained} campaign(s) drained to a resumable seal "
+            f"(`repro campaign resume` continues them)"
+        )
     return lines
 
 
@@ -325,6 +382,10 @@ def summarize(
         if batch_lines:
             lines.append("batch execution:")
             lines.extend("  " + line for line in batch_lines)
+        durable_lines = durable_narrative(batch_counters)
+        if durable_lines:
+            lines.append("campaign recovery:")
+            lines.extend("  " + line for line in durable_lines)
     story = narrative(events)
     if story:
         lines.append("narrative:")

@@ -400,6 +400,52 @@ class TestRollups:
         assert lanes[1].data["error"] == "error"
         assert "ipc" not in lanes[1].data
 
+    def test_resumed_campaign_writes_one_rollup_with_full_members(
+        self, tmp_path
+    ):
+        """Interrupt mid-campaign -> no rollup; resume -> exactly one,
+        covering every member fingerprint (docs/robustness.md)."""
+        from repro.faults import FaultPlan, WorkerFaultPlan
+        from repro.sim.durable import derive_campaign_id, resume_campaign, \
+            run_durable
+
+        specs = _grid_specs(cache_tag=4)
+        # interrupt fires once per process per fingerprint, mid-campaign
+        specs[1] = RunSpec(
+            workloads=specs[1].workloads,
+            config=specs[1].config.with_faults(
+                FaultPlan(worker=WorkerFaultPlan(interrupt_attempts=1))
+            ),
+        )
+        campaign = derive_campaign_id(
+            [spec_fingerprint(s) for s in specs]
+        )
+        partial = run_durable(
+            specs, cache_dir=tmp_path, jobs=1, wave_size=1,
+            raise_on_error=False,
+        )
+        assert any(not getattr(r, "ok", True) for r in partial)
+        assert list_rollups(tmp_path) == []
+
+        session = TelemetrySession()
+        resumed = resume_campaign(
+            campaign, cache_dir=tmp_path, jobs=1, telemetry=session
+        )
+        assert all(getattr(r, "ok", True) for r in resumed)
+        rollups = list_rollups(tmp_path)
+        assert len(rollups) == 1
+        assert rollups[0]["fingerprints"] == sorted(
+            spec_fingerprint(s) for s in specs
+        )
+        assert rollups[0]["runs"] == 3 and rollups[0]["failures"] == 0
+        rollup_events = [e for e in session.events()
+                         if e.type is EventType.CAMPAIGN_ROLLUP]
+        assert len(rollup_events) == 1
+        resume_events = [e for e in session.events()
+                         if e.type is EventType.CAMPAIGN_RESUME]
+        assert len(resume_events) == 1
+        assert resume_events[0].data["campaign"] == campaign
+
     def test_load_rollup_prefix_and_errors(self, tmp_path):
         payload = build_rollup([
             (RunSpec(workloads=("gzip", "gzip"), config=CFG), "f1", None),

@@ -1,0 +1,482 @@
+"""Durable campaigns: journal, checkpoint/resume, breaker, graceful drain.
+
+Interrupts are injected deterministically through
+:class:`~repro.faults.plan.WorkerFaultPlan.interrupt_attempts` (fires once
+per process per spec), so every kill-mid-campaign shape here resumes and
+converges in-process; the out-of-process SIGKILL scenario lives in
+``tools/chaos_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.config import scaled_config
+from repro.errors import SimulationError
+from repro.faults import FaultPlan, WorkerFaultPlan
+from repro.sim import (
+    RunFailure,
+    RunResult,
+    RunSpec,
+    run_many,
+    spec_fingerprint,
+)
+from repro.sim.durable import (
+    CampaignJournal,
+    _DrainSupervisor,
+    breaker_family,
+    cache_stats,
+    derive_campaign_id,
+    list_campaigns,
+    quarantine_entries,
+    replay,
+    results_to_canonical_json,
+    resume_campaign,
+    run_durable,
+)
+from repro.sim.parallel import RUNNER_METRICS
+from repro.sim.rollup import list_rollups
+
+
+def tiny_config(**kwargs):
+    kwargs.setdefault("time_scale", 20_000.0)
+    kwargs.setdefault("quantum_cycles", 3_000)
+    return scaled_config(**kwargs)
+
+
+def plain_spec(workloads, **config_kwargs):
+    return RunSpec(tuple(workloads), tiny_config(**config_kwargs))
+
+
+def chaos_spec(workloads, **worker_kwargs):
+    config = tiny_config().with_faults(
+        FaultPlan(worker=WorkerFaultPlan(**worker_kwargs))
+    )
+    return RunSpec(tuple(workloads), config)
+
+
+def campaign_id_of(specs):
+    return derive_campaign_id([spec_fingerprint(s) for s in specs])
+
+
+def kinds(results):
+    return [r.kind if isinstance(r, RunFailure) else "ok" for r in results]
+
+
+class TestJournal:
+    def test_append_and_replay_round_trip(self, tmp_path):
+        journal = CampaignJournal(tmp_path, "cafe0000")
+        journal.append({"type": "lease", "fingerprint": "f1", "pid": 7})
+        journal.append({"type": "completed", "fingerprint": "f1"})
+        records = journal.records()
+        assert [r["type"] for r in records] == ["lease", "completed"]
+        assert [r["seq"] for r in records] == [0, 1]
+        # a second journal instance continues the sequence
+        again = CampaignJournal(tmp_path, "cafe0000")
+        again.append({"type": "seal", "status": "complete"})
+        assert [r["seq"] for r in again.records()] == [0, 1, 2]
+
+    def test_unreadable_record_is_skipped_and_counted(self, tmp_path):
+        journal = CampaignJournal(tmp_path, "cafe0001")
+        journal.append({"type": "lease", "fingerprint": "f1", "pid": 7})
+        (journal.root / f"00000001.{os.getpid()}.json").write_text("{torn")
+        before = RUNNER_METRICS.counters.get("journal.unreadable_records", 0)
+        assert [r["type"] for r in journal.records()] == ["lease"]
+        assert (
+            RUNNER_METRICS.counters["journal.unreadable_records"]
+            == before + 1
+        )
+
+    def test_replay_without_submit_is_loud(self, tmp_path):
+        journal = CampaignJournal(tmp_path, "cafe0002")
+        journal.append({"type": "lease", "fingerprint": "f1", "pid": 7})
+        with pytest.raises(SimulationError, match="no submit record"):
+            replay(journal)
+
+    def test_heartbeat_freshness(self, tmp_path):
+        journal = CampaignJournal(tmp_path, "cafe0003")
+        assert not journal.heartbeat_fresh(1234, 60.0)
+        journal.heartbeat(1234, beats=0)
+        assert journal.heartbeat_fresh(1234, 60.0)
+        assert not journal.heartbeat_fresh(1234, 0.0)
+
+    def test_campaign_id_is_deterministic(self):
+        specs = [plain_spec(("gcc", "swim")), plain_spec(("gzip", "mcf"))]
+        assert campaign_id_of(specs) == campaign_id_of(specs)
+        assert campaign_id_of(specs) != campaign_id_of(specs[::-1])
+        assert len(campaign_id_of(specs)) == 16
+
+
+class TestRunDurable:
+    def test_complete_campaign_matches_run_many(self, tmp_path):
+        specs = [plain_spec(("gcc", "swim")), plain_spec(("gzip", "mcf"))]
+        durable = run_durable(specs, cache_dir=tmp_path / "a", jobs=1)
+        plain = run_many(specs, jobs=1, cache_dir=tmp_path / "b")
+        assert results_to_canonical_json(durable) == (
+            results_to_canonical_json(plain)
+        )
+        rows = list_campaigns(tmp_path / "a")
+        assert len(rows) == 1 and rows[0]["sealed"] == "complete"
+        assert rows[0]["completed"] == 2
+
+    def test_rerun_with_existing_journal_is_an_implicit_resume(
+        self, tmp_path
+    ):
+        specs = [plain_spec(("gcc", "swim")), plain_spec(("gzip", "mcf"))]
+        first = run_durable(specs, cache_dir=tmp_path, jobs=1)
+        again = run_durable(specs, cache_dir=tmp_path, jobs=1)
+        assert results_to_canonical_json(first) == (
+            results_to_canonical_json(again)
+        )
+
+    def test_different_manifest_same_id_is_refused(self, tmp_path):
+        specs = [plain_spec(("gcc", "swim"))]
+        run_durable(specs, campaign_id="pinned", cache_dir=tmp_path, jobs=1)
+        with pytest.raises(SimulationError, match="different manifest"):
+            run_durable(
+                [plain_spec(("gzip", "mcf"))],
+                campaign_id="pinned", cache_dir=tmp_path, jobs=1,
+            )
+
+    def test_needs_a_cache_dir(self):
+        with pytest.raises(SimulationError, match="cache_dir"):
+            run_durable([plain_spec(("gcc", "swim"))], cache_dir=None)
+
+    def test_duplicate_specs_share_one_execution(self, tmp_path):
+        spec = plain_spec(("gcc", "swim"))
+        results = run_durable([spec, spec], cache_dir=tmp_path, jobs=1)
+        assert results[0] == results[1]
+        assert list_campaigns(tmp_path)[0]["slots"] == 2
+        assert list_campaigns(tmp_path)[0]["specs"] == 1
+
+
+class TestDrainAndResume:
+    def test_interrupt_drains_to_resumable_then_resume_is_byte_identical(
+        self, tmp_path
+    ):
+        specs = [
+            plain_spec(("gcc", "swim")),
+            chaos_spec(("gzip", "mcf"), interrupt_attempts=1),
+            plain_spec(("vpr", "art")),
+        ]
+        campaign = campaign_id_of(specs)
+        partial = run_durable(
+            specs, cache_dir=tmp_path / "k", jobs=1, wave_size=1,
+            raise_on_error=False,
+        )
+        assert kinds(partial) == ["ok", "interrupted", "interrupted"]
+        assert list_campaigns(tmp_path / "k")[0]["sealed"] == "resumable"
+        assert list_rollups(tmp_path / "k") == []
+
+        resumed = resume_campaign(
+            campaign, cache_dir=tmp_path / "k", jobs=1, raise_on_error=False
+        )
+        assert kinds(resumed) == ["ok", "ok", "ok"]
+        # hook already fired for these fingerprints in this process, so the
+        # clean run really is uninterrupted
+        clean = run_durable(
+            specs, cache_dir=tmp_path / "c", jobs=1, raise_on_error=False
+        )
+        assert results_to_canonical_json(resumed) == (
+            results_to_canonical_json(clean)
+        )
+
+    def test_interrupted_seal_raises_keyboard_interrupt_by_default(
+        self, tmp_path
+    ):
+        specs = [chaos_spec(("gcc", "swim"), interrupt_attempts=1)]
+        with pytest.raises(KeyboardInterrupt):
+            run_durable(specs, cache_dir=tmp_path, jobs=1)
+        assert list_campaigns(tmp_path)[0]["sealed"] == "resumable"
+        drained = RUNNER_METRICS.counters.get("runner.campaign_drained", 0)
+        assert drained >= 1
+
+    def test_resume_verifies_cache_and_redispatches_divergence(
+        self, tmp_path
+    ):
+        specs = [plain_spec(("gcc", "swim")), plain_spec(("gzip", "mcf"))]
+        campaign = campaign_id_of(specs)
+        first = run_durable(specs, cache_dir=tmp_path, jobs=1)
+        # corrupt one completed entry behind the journal's back
+        key = spec_fingerprint(specs[0])
+        (tmp_path / f"{key}.json").write_text("{torn")
+        before = RUNNER_METRICS.counters.get(
+            "runner.campaign_reverify_missing", 0
+        )
+        resumed = resume_campaign(campaign, cache_dir=tmp_path, jobs=1)
+        assert results_to_canonical_json(first) == (
+            results_to_canonical_json(resumed)
+        )
+        assert RUNNER_METRICS.counters[
+            "runner.campaign_reverify_missing"
+        ] == before + 1
+        # the corrupt entry was quarantined by the checked reader
+        assert (tmp_path / "quarantine" / f"{key}.json").exists()
+
+    def test_dead_pid_lease_is_reclaimed(self, tmp_path):
+        specs = [plain_spec(("gcc", "swim"))]
+        campaign = campaign_id_of(specs)
+        run_durable(specs, cache_dir=tmp_path, jobs=1)
+        journal = CampaignJournal(tmp_path, campaign)
+        dead = 2 ** 22 + 1  # beyond any default pid_max
+        journal.append(
+            {"type": "lease",
+             "fingerprint": spec_fingerprint(specs[0]), "pid": dead}
+        )
+        before = RUNNER_METRICS.counters.get("runner.campaign_reclaimed", 0)
+        resume_campaign(campaign, cache_dir=tmp_path, jobs=1)
+        assert (
+            RUNNER_METRICS.counters["runner.campaign_reclaimed"]
+            == before + 1
+        )
+        assert replay(journal).leases == {}
+
+    def test_live_foreign_lease_refuses_resume(self, tmp_path):
+        specs = [plain_spec(("gcc", "swim"))]
+        campaign = campaign_id_of(specs)
+        run_durable(specs, cache_dir=tmp_path, jobs=1)
+        journal = CampaignJournal(tmp_path, campaign)
+        journal.append(
+            {"type": "lease",
+             "fingerprint": spec_fingerprint(specs[0]), "pid": 1}
+        )
+        journal.heartbeat(1, beats=0)  # fresh heartbeat for live pid 1
+        with pytest.raises(SimulationError, match="still being driven"):
+            resume_campaign(campaign, cache_dir=tmp_path, jobs=1)
+        # a stale heartbeat makes the same lease reclaimable
+        results = resume_campaign(
+            campaign, cache_dir=tmp_path, jobs=1, lease_stale_s=0.0
+        )
+        assert kinds(results) == ["ok"]
+
+    def test_unknown_campaign_is_loud_and_prefix_matches(self, tmp_path):
+        specs = [plain_spec(("gcc", "swim"))]
+        run_durable(specs, cache_dir=tmp_path, jobs=1)
+        campaign = campaign_id_of(specs)
+        with pytest.raises(SimulationError, match="no campaign journal"):
+            resume_campaign("feedface", cache_dir=tmp_path)
+        assert kinds(
+            resume_campaign(campaign[:6], cache_dir=tmp_path, jobs=1)
+        ) == ["ok"]
+
+
+class TestCircuitBreaker:
+    def failing_campaign(self, tmp_path):
+        specs = [
+            chaos_spec(("gzip", "gzip"), fail_attempts=5),
+            RunSpec(
+                ("gzip", "gzip"),
+                tiny_config(seed=7).with_faults(
+                    FaultPlan(worker=WorkerFaultPlan(fail_attempts=5))
+                ),
+            ),
+            plain_spec(("gcc", "swim")),
+        ]
+        results = run_durable(
+            specs, cache_dir=tmp_path, jobs=1, wave_size=1,
+            raise_on_error=False,
+        )
+        return specs, results
+
+    def test_terminal_failure_trips_family_and_skips_siblings(
+        self, tmp_path
+    ):
+        before = RUNNER_METRICS.counters.get("runner.breaker_trips", 0)
+        specs, results = self.failing_campaign(tmp_path)
+        assert kinds(results) == ["error", "breaker_open", "ok"]
+        assert "breaker is open" in results[1].error
+        assert RUNNER_METRICS.counters["runner.breaker_trips"] == before + 1
+        assert breaker_family(specs[0]) == breaker_family(specs[1])
+        assert breaker_family(specs[0]) != breaker_family(specs[2])
+        assert list_campaigns(tmp_path)[0]["breakers"] == [
+            breaker_family(specs[0])
+        ]
+
+    def test_resume_keeps_breaker_open_without_force(self, tmp_path):
+        specs, _ = self.failing_campaign(tmp_path)
+        resumed = resume_campaign(
+            campaign_id_of(specs), cache_dir=tmp_path, jobs=1,
+            raise_on_error=False,
+        )
+        assert kinds(resumed) == ["error", "breaker_open", "ok"]
+
+    def test_force_recloses_breaker_and_redispatches(self, tmp_path):
+        specs, _ = self.failing_campaign(tmp_path)
+        resumed = resume_campaign(
+            campaign_id_of(specs), cache_dir=tmp_path, jobs=1,
+            force=True, retries=5, raise_on_error=False,
+        )
+        assert kinds(resumed) == ["ok", "ok", "ok"]
+        assert list_campaigns(tmp_path)[0]["breakers"] == []
+
+
+class TestDrainSupervisor:
+    def test_sigterm_translates_to_keyboard_interrupt_once(self):
+        supervisor = _DrainSupervisor()
+        previous = signal.getsignal(signal.SIGTERM)
+        supervisor.install()
+        try:
+            with pytest.raises(KeyboardInterrupt, match="drain requested"):
+                os.kill(os.getpid(), signal.SIGTERM)
+            assert supervisor.draining
+            # the handler restored the previous disposition for signal #2
+            assert signal.getsignal(signal.SIGTERM) == previous
+        finally:
+            supervisor.uninstall()
+            signal.signal(signal.SIGTERM, previous)
+        assert signal.getsignal(signal.SIGTERM) == previous
+
+    def test_interrupt_mid_campaign_seals_resumable(self, tmp_path):
+        # The SIGTERM handler and the chaos interrupt hook share the
+        # KeyboardInterrupt drain machinery; this pins the seal and
+        # partial-result contract downstream of either entry point.  The
+        # workload mix is distinct from every other interrupt test: the
+        # hook fires once per process per fingerprint.
+        specs = [
+            plain_spec(("gcc", "swim")),
+            chaos_spec(("twolf", "lucas"), interrupt_attempts=1),
+        ]
+        campaign = campaign_id_of(specs)
+        partial = run_durable(
+            specs, cache_dir=tmp_path, jobs=1, wave_size=1,
+            raise_on_error=False,
+        )
+        assert kinds(partial) == ["ok", "interrupted"]
+        assert list_campaigns(tmp_path)[0]["sealed"] == "resumable"
+        resumed = resume_campaign(campaign, cache_dir=tmp_path, jobs=1)
+        assert kinds(resumed) == ["ok", "ok"]
+
+
+class TestRunManyResumeParam:
+    def test_resume_param_routes_to_durable_layer(self, tmp_path):
+        specs = [chaos_spec(("vpr", "art"), interrupt_attempts=1)]
+        campaign = campaign_id_of(specs)
+        run_durable(
+            specs, cache_dir=tmp_path, jobs=1, raise_on_error=False
+        )
+        results = run_many(
+            [], resume=campaign, cache_dir=tmp_path, jobs=1,
+            raise_on_error=False,
+        )
+        assert kinds(results) == ["ok"]
+
+    def test_resume_param_rejects_specs(self, tmp_path):
+        with pytest.raises(SimulationError, match="empty spec list"):
+            run_many(
+                [plain_spec(("gcc", "swim"))],
+                resume="cafe", cache_dir=tmp_path,
+            )
+
+
+class TestCacheInspection:
+    def test_cache_stats_counts_everything(self, tmp_path):
+        specs = [plain_spec(("gcc", "swim")), plain_spec(("gzip", "mcf"))]
+        run_durable(specs, cache_dir=tmp_path, jobs=1)
+        (tmp_path / "bogus.json").write_text("{torn")
+        stats = cache_stats(tmp_path)
+        assert stats["entries"] == 3 and stats["unreadable"] == 1
+        assert stats["kinds"] == {"run": 2}
+        assert stats["format_versions"] == {"1": 2}
+        assert stats["rollups"] == 1 and stats["campaigns"] == 1
+        assert stats["bytes"] > 0
+        assert cache_stats(tmp_path / "missing")["entries"] == 0
+
+    def test_quarantine_reasons_are_rederived(self, tmp_path):
+        spec = plain_spec(("gcc", "swim"))
+        key = spec_fingerprint(spec)
+        quarantine = tmp_path / "quarantine"
+        quarantine.mkdir()
+        (quarantine / f"{key}.json").write_text("{torn")
+        (quarantine / "deadbeef.json").write_text(
+            json.dumps({"fingerprint": "something_else", "kind": "run"})
+        )
+        (quarantine / "feedc0de.json").write_text(
+            json.dumps({"fingerprint": "feedc0de", "kind": "run",
+                        "result": {"format_version": 99}})
+        )
+        reasons = {e["file"]: e["reason"] for e in quarantine_entries(tmp_path)}
+        assert reasons == {
+            f"{key}.json": "unreadable",
+            "deadbeef.json": "fingerprint_mismatch",
+            "feedc0de.json": "bad_shape",
+        }
+
+
+class TestCanonicalJson:
+    def test_wall_seconds_is_normalized_out(self, tmp_path):
+        spec = plain_spec(("gcc", "swim"))
+        first = run_many([spec], jobs=1, cache=False)
+        second = run_many([spec], jobs=1, cache=False)
+        assert isinstance(first[0], RunResult)
+        assert first[0].perf.wall_seconds != second[0].perf.wall_seconds
+        assert results_to_canonical_json(first) == (
+            results_to_canonical_json(second)
+        )
+
+    def test_failures_canonicalize_without_error_text(self):
+        failure = RunFailure(
+            workloads=("gcc", "swim"), fingerprint="f1",
+            kind="interrupted", error="nondeterministic detail", attempts=2,
+        )
+        blob = results_to_canonical_json([failure])
+        assert "interrupted" in blob and "nondeterministic" not in blob
+
+
+class TestCampaignCli:
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def test_list_show_resume_and_cache(self, tmp_path, capsys):
+        specs = [
+            plain_spec(("gcc", "swim")),
+            # distinct mix: the interrupt hook fires once per process
+            # per fingerprint, and other tests burned the common mixes
+            chaos_spec(("eon", "apsi"), interrupt_attempts=1),
+        ]
+        campaign = campaign_id_of(specs)
+        run_durable(
+            specs, cache_dir=tmp_path, jobs=1, wave_size=1,
+            raise_on_error=False,
+        )
+        assert self.run_cli(
+            "campaign", "list", "--cache-dir", str(tmp_path)
+        ) == 0
+        assert "resumable" in capsys.readouterr().out
+
+        assert self.run_cli(
+            "campaign", "show", campaign[:8], "--cache-dir", str(tmp_path)
+        ) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["campaign"] == campaign and shown["slots"] == 2
+
+        assert self.run_cli(
+            "campaign", "resume", campaign, "--cache-dir", str(tmp_path),
+            "--jobs", "1",
+        ) == 0
+        assert "2 of 2 slot(s) ok" in capsys.readouterr().out
+
+        assert self.run_cli("cache", "--cache-dir", str(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "campaign journals" in out and "rollups" in out
+
+        assert self.run_cli(
+            "cache", "--cache-dir", str(tmp_path), "--json"
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 2 and stats["campaigns"] == 1
+
+    def test_show_without_id_is_an_error(self, capsys):
+        assert self.run_cli("campaign", "show") == 1
+        assert "needs a campaign id" in capsys.readouterr().err
+
+    def test_empty_listing(self, tmp_path, capsys):
+        assert self.run_cli(
+            "campaign", "list", "--cache-dir", str(tmp_path)
+        ) == 0
+        assert "no campaign journals" in capsys.readouterr().out

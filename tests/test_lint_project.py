@@ -882,3 +882,44 @@ class TestRuntimeBudget:
         elapsed = time.monotonic() - start
         assert result.files_checked > 50
         assert elapsed < 10.0, f"lint took {elapsed:.1f}s"
+
+
+# -- the durable-campaign module under the determinism guard ------------------
+
+
+class TestDurableModuleGuard:
+    """sim/durable.py sits inside RPR001's guarded ``sim`` package.
+
+    Its only wall-clock reads are the lease heartbeats, each carrying a
+    reasoned suppression; stripping a suppression must re-fire RPR001, so
+    the sanction stays a conscious, reviewed decision.
+    """
+
+    DURABLE = REPO_ROOT / "src" / "repro" / "sim" / "durable.py"
+
+    def test_real_module_is_clean_with_sanctioned_heartbeats(self):
+        result = run_lint([self.DURABLE])
+        assert result.findings == []
+        assert result.suppressed >= 2  # the two heartbeat wall reads
+
+    def test_heartbeat_suppressions_carry_their_reasoning(self):
+        noqa_lines = [
+            line for line in self.DURABLE.read_text().splitlines()
+            if "repro: noqa(RPR001)" in line
+        ]
+        assert len(noqa_lines) == 2
+        assert all("never feeds a fingerprint" in line
+                   for line in noqa_lines)
+
+    def test_stripping_a_heartbeat_sanction_refires_rpr001(self, tmp_path):
+        source = self.DURABLE.read_text()
+        stripped = "\n".join(
+            line.split("  # repro: noqa(RPR001)")[0]
+            for line in source.splitlines()
+        ) + "\n"
+        assert "noqa(RPR001)" not in stripped
+        target = tmp_path / "sim" / "durable.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(stripped)
+        result = run_lint([tmp_path], LintConfig(select=("RPR001",)))
+        assert codes(result).count("RPR001") == 2

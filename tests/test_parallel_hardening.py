@@ -205,3 +205,59 @@ class TestFaultedRunsThroughTheRunner:
         results = run_many([clean, faulted], jobs=1, cache_dir=tmp_path)
         assert len(list(tmp_path.glob("*.json"))) == 2
         assert results[0] != results[1]
+
+
+class TestGracefulInterrupt:
+    """Operator interrupts drain to partial results instead of unwinding.
+
+    The interrupt is injected via ``WorkerFaultPlan.interrupt_attempts``,
+    which fires once per process per fingerprint — so every mix here is
+    distinct from the other interrupt tests in the suite.
+    """
+
+    def test_serial_interrupt_books_partial_results(self, tmp_path):
+        specs = [
+            RunSpec(("gcc", "gzip"), tiny_config()),
+            chaos_spec(("ammp", "applu"), interrupt_attempts=1),
+            RunSpec(("mcf", "art"), tiny_config()),
+        ]
+        before = RUNNER_METRICS.counters.get("runner.interrupts", 0)
+        results = run_many(
+            specs, jobs=1, cache_dir=tmp_path, batch=False,
+            raise_on_error=False,
+        )
+        assert isinstance(results[0], RunResult)
+        assert [r.kind for r in results[1:]] == ["interrupted"] * 2
+        assert "operator interrupt" in results[1].error
+        assert RUNNER_METRICS.counters["runner.interrupts"] == before + 1
+        # work already paid for is kept (and cached); nothing half-written
+        fps = [spec_fingerprint(s) for s in specs]
+        assert (tmp_path / f"{fps[0]}.json").exists()
+        assert not (tmp_path / f"{fps[1]}.json").exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_interrupt_reraises_after_cleanup_by_default(self, tmp_path):
+        specs = [chaos_spec(("apsi", "lucas"), interrupt_attempts=1)]
+        with pytest.raises(KeyboardInterrupt, match="unfinished"):
+            run_many(specs, jobs=1, cache_dir=tmp_path, batch=False)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_pool_interrupt_drains_and_fills_every_slot(self):
+        specs = [
+            RunSpec(("gcc", "mcf"), tiny_config()),
+            chaos_spec(("art", "swim"), interrupt_attempts=1),
+            RunSpec(("vpr", "twolf"), tiny_config()),
+            RunSpec(("eon", "gzip"), tiny_config()),
+        ]
+        before = RUNNER_METRICS.counters.get("runner.interrupts", 0)
+        results = run_many(
+            specs, jobs=2, cache=False, batch=False, raise_on_error=False
+        )
+        assert len(results) == len(specs)
+        failures = [r for r in results if isinstance(r, RunFailure)]
+        assert failures
+        assert all(r.kind == "interrupted" for r in failures)
+        assert all(
+            isinstance(r, (RunResult, RunFailure)) for r in results
+        )
+        assert RUNNER_METRICS.counters["runner.interrupts"] >= before + 1

@@ -14,6 +14,15 @@ and asserts the robustness contract of docs/robustness.md:
 * the corrupt cache entry is quarantined, not silently overwritten;
 * the flaky spec succeeds on retry.
 
+A second scenario exercises the durable-campaign layer end to end
+(docs/robustness.md): a child process drives a journaled campaign, the
+parent SIGKILLs it mid-campaign (after at least two specs completed),
+resumes the campaign via :func:`repro.sim.durable.resume_campaign` in its
+own process, and asserts the merged result list is byte-identical
+(canonical JSON, PerfCounters included) to an uninterrupted run of the
+same campaign in a separate cache — with exactly one rollup covering the
+full member set.
+
 Exit status 0 = contract holds.  Runs in a few seconds; CI executes it on
 every push (the ``chaos`` job), and it is equally useful locally:
 
@@ -22,8 +31,12 @@ every push (the ``chaos`` job), and it is equally useful locally:
 
 from __future__ import annotations
 
+import json
+import signal
+import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -33,6 +46,114 @@ from repro.config import scaled_config  # noqa: E402
 from repro.faults import FaultPlan, WorkerFaultPlan  # noqa: E402
 from repro.sim import RunFailure, RunSpec, run_many  # noqa: E402
 from repro.sim.parallel import RUNNER_METRICS, spec_fingerprint  # noqa: E402
+
+
+def durable_specs() -> list[RunSpec]:
+    """The kill-and-resume campaign: identical in parent and child.
+
+    Slow enough (~0.2s per spec) that the parent can reliably SIGKILL the
+    child mid-campaign, fast enough that the whole scenario stays within a
+    smoke test's budget.
+    """
+    config = scaled_config(time_scale=8_000.0, quantum_cycles=12_000)
+    mixes = [
+        ("gcc", "swim"), ("gzip", "mcf"), ("vpr", "art"),
+        ("twolf", "lucas"), ("eon", "apsi"), ("gcc", "gcc"),
+    ]
+    return [RunSpec(mix, config) for mix in mixes]
+
+
+def durable_child(cache_dir: str) -> int:
+    """Child mode: drive the campaign until killed (or done)."""
+    from repro.sim.durable import run_durable
+
+    run_durable(
+        durable_specs(), cache_dir=cache_dir, jobs=1, wave_size=1,
+        raise_on_error=False,
+    )
+    return 0
+
+
+def _completed_records(journal_dir: Path) -> int:
+    count = 0
+    for path in journal_dir.glob("[0-9]*.json"):
+        try:
+            if '"type":"completed"' in path.read_text():
+                count += 1
+        except OSError:
+            continue
+    return count
+
+
+def durable_checks() -> list[tuple[str, bool]]:
+    """kill -9 mid-campaign -> resume -> byte-identical results."""
+    from repro.sim.durable import (
+        JOURNAL_DIR,
+        derive_campaign_id,
+        resume_campaign,
+        results_to_canonical_json,
+        run_durable,
+    )
+
+    specs = durable_specs()
+    campaign = derive_campaign_id([spec_fingerprint(s) for s in specs])
+    checks: list[tuple[str, bool]] = []
+    with tempfile.TemporaryDirectory() as killed_dir, \
+            tempfile.TemporaryDirectory() as clean_dir:
+        child = subprocess.Popen(
+            [sys.executable, __file__, "--durable-child", killed_dir],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        journal_dir = Path(killed_dir) / JOURNAL_DIR / campaign
+        deadline = time.monotonic() + 120.0
+        completed = 0
+        while time.monotonic() < deadline:
+            completed = _completed_records(journal_dir)
+            if completed >= 2 or child.poll() is not None:
+                break
+            time.sleep(0.02)
+        killed_midway = child.poll() is None and 2 <= completed < len(specs)
+        child.send_signal(signal.SIGKILL)
+        child.wait()
+        checks.append(
+            ("child SIGKILLed mid-campaign (some specs done, not all)",
+             killed_midway)
+        )
+
+        resumed = resume_campaign(
+            campaign, cache_dir=killed_dir, jobs=1, raise_on_error=False
+        )
+        checks.append(
+            ("resumed campaign finished every slot",
+             not any(isinstance(r, RunFailure) for r in resumed))
+        )
+
+        clean = run_durable(
+            specs, cache_dir=clean_dir, jobs=1, wave_size=1,
+            raise_on_error=False,
+        )
+        checks.append(
+            ("resumed results byte-identical to an uninterrupted run",
+             results_to_canonical_json(resumed)
+             == results_to_canonical_json(clean))
+        )
+
+        rollups = sorted((Path(killed_dir) / "rollups").glob("*.json"))
+        members = set()
+        if len(rollups) == 1:
+            members = set(
+                json.loads(rollups[0].read_text()).get("fingerprints", [])
+            )
+        checks.append(
+            ("exactly one rollup covering the full member set",
+             len(rollups) == 1
+             and members == {spec_fingerprint(s) for s in specs})
+        )
+        checks.append(
+            ("resume accounted in runner metrics",
+             RUNNER_METRICS.counters.get("runner.campaign_resumes", 0) >= 1)
+        )
+    return checks
 
 
 def main() -> int:
@@ -91,6 +212,8 @@ def main() -> int:
              RUNNER_METRICS.counters.get("runner.retries", 0) >= 1),
         ]
 
+    checks.extend(durable_checks())
+
     width = max(len(label) for label, _ in checks)
     failed = 0
     for label, ok in checks:
@@ -110,4 +233,6 @@ def main() -> int:
 
 
 if __name__ == "__main__":
+    if len(sys.argv) == 3 and sys.argv[1] == "--durable-child":
+        sys.exit(durable_child(sys.argv[2]))
     sys.exit(main())
