@@ -47,8 +47,9 @@ _TWIN = re.compile(
     re.IGNORECASE,
 )
 
-#: Vector-side twin files: the batched NumPy mirrors of the scalar DTMs.
-VECTOR_FILES = frozenset({"cohort.py", "batch.py"})
+#: Vector-side twin files: the batched NumPy mirrors of the scalar DTMs
+#: and the heterogeneous-lane SoA banks.
+VECTOR_FILES = frozenset({"cohort.py", "batch.py", "soa.py"})
 
 
 def module_dotted_name(module: Module) -> str:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import copy
+
 from ..config import CacheConfig
 from .replacement import ReplacementPolicy, make_policy
 
@@ -109,6 +111,27 @@ class Cache:
         """Invalidate every line."""
         for entries in self._sets:
             entries.clear()
+
+    def fork(self) -> "Cache":
+        """Mid-run clone: same tags, recency order, stats, and policy state.
+
+        The config is shared (immutable); the per-set tag lists are copied
+        so the clone's fills and recency updates never touch the original.
+        The replacement policy is deep-copied because stateful policies
+        (e.g. random replacement's private RNG) must continue their own
+        stream on each side of the fork, exactly as a deep-copied cache
+        would.
+        """
+        clone = Cache.__new__(Cache)
+        clone.config = self.config
+        clone.num_sets = self.num_sets
+        clone.assoc = self.assoc
+        clone.line_shift = self.line_shift
+        clone._sets = [list(entries) for entries in self._sets]
+        clone._policy = copy.deepcopy(self._policy)
+        clone.hits = self.hits
+        clone.misses = self.misses
+        return clone
 
     @property
     def occupancy(self) -> int:

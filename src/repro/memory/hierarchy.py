@@ -93,6 +93,19 @@ class MemoryHierarchy:
             MemLevel.MEMORY,
         )
 
+    def fork(self) -> "MemoryHierarchy":
+        """Mid-run clone of every level plus the power access counters."""
+        clone = MemoryHierarchy.__new__(MemoryHierarchy)
+        clone.config = self.config
+        clone.l1i = self.l1i.fork()
+        clone.l1d = self.l1d.fork()
+        clone.l2 = self.l2.fork()
+        clone.memory_latency = self.memory_latency
+        clone.icache_accesses = self.icache_accesses
+        clone.dcache_accesses = self.dcache_accesses
+        clone.l2_accesses = self.l2_accesses
+        return clone
+
     def drain_access_counts(self) -> dict[str, int]:
         """Return and reset per-structure access counts (for power)."""
         counts = {

@@ -28,6 +28,8 @@ sedation usage monitor snapshot them at their own intervals.
 
 from __future__ import annotations
 
+import copy
+
 from ..blocks import (
     BPRED,
     DCACHE,
@@ -61,6 +63,7 @@ from .uop import (
     OP_NOP,
     OP_STORE,
     Uop,
+    fork_uop,
 )
 
 #: opclass -> functional-resource pool index
@@ -121,6 +124,54 @@ class SMTCore:
         #: optional telemetry session; None keeps the hot loop branch-free
         #: beyond a single ``is not None`` test per idle skip
         self.telemetry = None
+
+    # -- forking (cohort splits) --------------------------------------------
+
+    def fork(self) -> "SMTCore":
+        """Mid-run structured clone for lock-step cohort splitting.
+
+        Behaviorally equivalent to ``copy.deepcopy(self)`` — the forked
+        core continues byte-identically — but it walks only live pipeline
+        state: the in-flight uop graph (a few hundred objects) is cloned
+        through one identity-preserving memo, caches copy their tag lists,
+        and immutable structure (config, FU limits, shared uop-stream
+        columns) is shared.  Sources fork via their own ``fork`` when
+        available (O(1) for stream cursors), else deep-copy.
+
+        Telemetry sessions are intentionally not forkable: batchable specs
+        never carry telemetry, and silently sharing a sink between sibling
+        pipelines would interleave their event streams.
+        """
+        if self.telemetry is not None:
+            raise PipelineError("cannot fork a core with telemetry attached")
+        clone = SMTCore.__new__(SMTCore)
+        clone.config = self.config
+        clone.hierarchy = self.hierarchy.fork()
+        memo: dict[int, Uop] = {}
+        clone.threads = [thread.fork(memo) for thread in self.threads]
+        clone.cycle = self.cycle
+        clone.window_used = self.window_used
+        clone.lsq_used = self.lsq_used
+        clone.ready = [fork_uop(uop, memo) for uop in self.ready]
+        clone._wheel = {
+            when: [fork_uop(uop, memo) for uop in uops]
+            for when, uops in self._wheel.items()
+        }
+        # Selectors may be stateful (round-robin rotation); deepcopy keeps
+        # each side's rotation independent (plain functions copy to
+        # themselves).
+        clone._select = copy.deepcopy(self._select)
+        clone.access_counts = [list(counts) for counts in self.access_counts]
+        clone._l1i_line_bytes = self._l1i_line_bytes
+        clone._window_cap = self._window_cap
+        clone._fu_limits = self._fu_limits
+        clone._fetch_queue_size = self._fetch_queue_size
+        clone._access_instruction = clone.hierarchy.access_instruction
+        clone._access_data = clone.hierarchy.access_data
+        clone.perf_idle_skipped = self.perf_idle_skipped
+        clone.perf_stall_skipped = self.perf_stall_skipped
+        clone.telemetry = None
+        return clone
 
     # -- external control (DTM hooks) ---------------------------------------
 

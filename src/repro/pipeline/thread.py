@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 
 from ..isa.registers import TOTAL_REGS
 from .source import UopSource
-from .uop import Uop
+from .uop import Uop, fork_uop
 
 
 class ThreadContext:
@@ -80,6 +81,53 @@ class ThreadContext:
         self.cycles_sedated = 0
         self.cycles_mem_blocked = 0
         self.seq_counter = 0
+
+    def fork(self, memo: dict[int, Uop]) -> "ThreadContext":
+        """Mid-run clone for a pipeline fork (see :meth:`SMTCore.fork`).
+
+        Every in-flight uop reachable from this context (fetch queue, ROB,
+        writer table, gating pointers) is cloned through the shared
+        ``memo`` so the forked pipeline preserves the original's object
+        identities among its own twins.  Sources fork via their own
+        ``fork`` when they have one (stream cursors are O(1)); anything
+        else falls back to ``copy.deepcopy``, which every scalar source
+        supports — that is exactly what the pre-fork engine did wholesale.
+        """
+        clone = ThreadContext.__new__(ThreadContext)
+        clone.tid = self.tid
+        source_fork = getattr(self.source, "fork", None)
+        if source_fork is not None:
+            clone.source = source_fork()
+        else:
+            clone.source = copy.deepcopy(self.source)
+        clone.fetch_queue = deque(
+            (ready, fork_uop(uop, memo)) for ready, uop in self.fetch_queue
+        )
+        clone.rob = deque(fork_uop(uop, memo) for uop in self.rob)
+        clone.writer_table = [
+            None if uop is None else fork_uop(uop, memo)
+            for uop in self.writer_table
+        ]
+        clone.icount = self.icount
+        clone.sedated = self.sedated
+        clone.paused = self.paused
+        clone.throttle_modulus = self.throttle_modulus
+        clone.fetch_blocked_until = self.fetch_blocked_until
+        gate = self.mispredict_gate
+        clone.mispredict_gate = None if gate is None else fork_uop(gate, memo)
+        block = self.miss_block
+        clone.miss_block = None if block is None else fork_uop(block, memo)
+        clone.halted = self.halted
+        clone.fetched = self.fetched
+        clone.committed = self.committed
+        clone.mem_ops_in_flight = self.mem_ops_in_flight
+        clone.last_fetch_line = self.last_fetch_line
+        clone.cycles_normal = self.cycles_normal
+        clone.cycles_cooling = self.cycles_cooling
+        clone.cycles_sedated = self.cycles_sedated
+        clone.cycles_mem_blocked = self.cycles_mem_blocked
+        clone.seq_counter = self.seq_counter
+        return clone
 
     def can_fetch(self, cycle: int) -> bool:
         """True when the front end may fetch for this thread this cycle."""

@@ -110,3 +110,44 @@ class Uop:
             f"Uop(t{self.thread} seq={self.seq} {OPCLASS_NAMES[self.opclass]} "
             f"pc={self.pc:#x} dest={self.dest} srcs={self.srcs})"
         )
+
+
+def fork_uop(uop: Uop, memo: dict[int, Uop]) -> Uop:
+    """Clone one in-flight uop for a pipeline fork, preserving identity.
+
+    The pipeline's wakeup graph is cyclic in the object sense (producers
+    list consumers; threads point back at gating uops), and correctness of
+    the forked pipeline depends on *identity*, not just equality — e.g.
+    ``thread.miss_block is uop`` on completion.  ``memo`` (keyed by
+    ``id(uop)``) therefore maps every original to exactly one twin, and the
+    twin is registered *before* consumers are recursed so shared consumers
+    and self-referential paths resolve to the same object, like
+    ``copy.deepcopy`` — but touching only the sixteen slot fields.
+    """
+    key = id(uop)
+    twin = memo.get(key)
+    if twin is not None:
+        return twin
+    twin = Uop.__new__(Uop)
+    memo[key] = twin
+    twin.thread = uop.thread
+    twin.pc = uop.pc
+    twin.opclass = uop.opclass
+    twin.dest = uop.dest
+    twin.srcs = uop.srcs
+    twin.address = uop.address
+    twin.taken = uop.taken
+    twin.mispredict = uop.mispredict
+    twin.seq = uop.seq
+    twin.latency = uop.latency
+    twin.deps = uop.deps
+    consumers = uop.consumers
+    if consumers is None:
+        twin.consumers = None
+    else:
+        twin.consumers = [fork_uop(consumer, memo) for consumer in consumers]
+    twin.done = uop.done
+    twin.issued = uop.issued
+    twin.in_window = uop.in_window
+    twin.is_mem = uop.is_mem
+    return twin

@@ -28,6 +28,22 @@ class PowerAccountant:
         #: Cumulative dynamic energy per thread (J), for attribution stats.
         self.thread_energy_j = [0.0] * len(core.threads)
 
+    def fork(self, core: SMTCore) -> "PowerAccountant":
+        """Clone onto a forked core (see :meth:`SMTCore.fork`).
+
+        Snapshots (last cycle, last counts, per-thread energy) are copied;
+        the energy model is shared — it is read-only, so both sides keep
+        observing identical coefficients, exactly as a deep copy would.
+        """
+        clone = PowerAccountant.__new__(PowerAccountant)
+        clone.core = core
+        clone.energy = self.energy
+        clone.frequency_hz = self.frequency_hz
+        clone._last_cycle = self._last_cycle
+        clone._last_counts = [list(counts) for counts in self._last_counts]
+        clone.thread_energy_j = list(self.thread_energy_j)
+        return clone
+
     def block_powers(self, dynamic_scale: float = 1.0) -> list[float]:
         """Per-block power (W) averaged since the previous call.
 

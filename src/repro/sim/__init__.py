@@ -1,6 +1,6 @@
 """Simulation driver: co-simulator, experiment harness, and statistics."""
 
-from .batch import batch_fingerprint, simulate_lockstep
+from .batch import batch_fingerprint, simulate_lockstep, trajectory_key
 from .campaign import CampaignResult, QuantumRecord, run_campaign
 from .durable import (
     JOURNAL_DIR,
@@ -68,6 +68,7 @@ __all__ = [
     "run_campaign",
     "simulate_lockstep",
     "spec_fingerprint",
+    "trajectory_key",
     "Simulator",
     "ThreadStats",
     "write_rollup",

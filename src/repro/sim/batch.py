@@ -1,16 +1,21 @@
-"""Lock-step batch execution: many config-variant runs on one pipeline.
+"""Lock-step batch execution: many heterogeneous runs, few pipelines.
 
-Every figure in the paper is a *sweep* — dozens of runs that differ only in
-thermal or DTM knobs while sharing the same workloads, machine, and seed.
-The pipeline is a pure function of exactly those shared inputs, so as long
-as every lane would drive the pipeline identically, all lanes of such a
-sweep execute *the same cycle-by-cycle pipeline trajectory*.  This engine
-exploits that: it runs **one** SMT core on behalf of ``B`` lanes and
-carries everything that can differ per lane — thermal network state, sensor
-crossing counters, peak temperatures, EWMA banks, noise streams, and the
-full DTM policy state (:class:`~repro.sim.cohort.LaneDTM`) — as
-structure-of-arrays NumPy state advanced in lock step at the shared
-sample/sensor boundaries.
+Every figure in the paper is a *sweep* — dozens of runs varying thermal or
+DTM knobs, workload pairs, and seeds.  The pipeline is a pure function of
+(workloads, machine, seed, thermal time base), so lanes sharing those
+inputs execute *the same cycle-by-cycle pipeline trajectory* no matter how
+their thermal/DTM configs differ.  This engine exploits that: lanes are
+grouped by :func:`trajectory_key` (workloads + seed; machine and time base
+are already fingerprint-shared), each trajectory group runs **one** SMT
+core, and everything that can differ per lane — thermal network state,
+sensor crossing counters, peak temperatures, EWMA banks, per-lane RNG
+banks, and the full DTM policy state (:class:`~repro.sim.cohort.LaneDTM`)
+— is carried as structure-of-arrays NumPy state advanced in lock step at
+the shared sample/sensor boundaries.  Heterogeneous lanes (mixed workload
+pairs × mixed seeds) therefore batch in a single kernel call: one cohort
+tree per trajectory, one shared worklist, and one generated uop stream per
+distinct ``(workload, thread, seed)`` triple across all of them
+(:mod:`repro.sim.soa`).
 
 The contract is the fast path's: results **byte-identical** to the scalar
 :class:`~repro.sim.simulator.Simulator` (same RunResult JSON, same cache
@@ -52,7 +57,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import random
 import time
 
 import numpy as np
@@ -66,23 +70,33 @@ from ..power import EnergyModel, PowerAccountant
 from ..thermal import RCThermalModel
 from ..thermal.sensors import BatchCrossingDetector
 from .cohort import CODE_SEDATION, Cohort, LaneDTM, NetworkGroup, network_key
-from .simulator import build_pipeline
+from .soa import (
+    LaneRngBank,
+    StreamBank,
+    build_streamed_pipeline,
+    release_cursors,
+    sample_sensors,
+)
 from .stats import RunResult, ThreadStats
 
 #: Batch-compatibility key schema.  Bump when the set of lane-shared inputs
 #: changes (a new config field that influences the shared pipeline must be
-#: added to the fingerprint payload, and vice versa).
-BATCH_SCHEMA = 1
+#: added to the fingerprint payload, and vice versa).  Schema 2 dropped
+#: ``workloads`` and ``seed`` from the payload: they became per-trajectory
+#: inputs (:func:`trajectory_key`) instead of batch-shared ones.
+BATCH_SCHEMA = 2
 
 
 def batch_fingerprint(spec) -> str | None:
     """Batch-compatibility key for one spec; ``None`` = not batchable.
 
-    Specs with equal keys may share one lock-step pipeline: everything that
-    influences cycle-by-cycle pipeline behavior or the event grid must be
-    equal across lanes (workloads, machine, seed, quantum, sample/sensor
-    intervals, and the thermal time base, which sizes malicious-variant
-    bursts via ``cycles_from_seconds``).  Everything else — DTM policy,
+    Specs with equal keys may share one lock-step kernel call: everything
+    that shapes the event grid or is global to the kernel must be equal
+    across lanes (machine, quantum, sample/sensor intervals, and the
+    thermal time base, which sizes malicious-variant bursts via
+    ``cycles_from_seconds``).  Workloads and seed — the pipeline-trajectory
+    inputs — may differ per lane since schema 2: the kernel runs one cohort
+    tree per :func:`trajectory_key`.  Everything else — DTM policy,
     thresholds, thermal network constants, sensor noise — may vary per lane
     and is handled by the engine's per-lane state.
 
@@ -107,9 +121,7 @@ def batch_fingerprint(spec) -> str | None:
     thermal = config.thermal
     payload = {
         "schema": BATCH_SCHEMA,
-        "workloads": list(spec.workloads),
         "machine": dataclasses.asdict(config.machine),
-        "seed": config.seed,
         "quantum": quantum,
         "sample_interval": config.sedation.sample_interval,
         "sensor_interval": thermal.sensor_interval,
@@ -120,20 +132,40 @@ def batch_fingerprint(spec) -> str | None:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def trajectory_key(spec) -> str:
+    """Pipeline-trajectory key: the per-group inputs driving a shared core.
+
+    Within one batch-fingerprint group, lanes with equal trajectory keys
+    would drive a pipeline identically (``build_pipeline``'s purity
+    guarantee: of the config, only machine, seed, and the thermal time
+    base influence the uop streams — and the fingerprint already pins the
+    other two).  Equal keys → lanes share one pipeline; distinct keys →
+    sibling cohort trees in the same kernel call.
+    """
+    return json.dumps(
+        {"workloads": list(spec.workloads), "seed": spec.config.seed},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
 def simulate_lockstep(
     specs, metrics: dict | None = None
 ) -> tuple[dict[int, RunResult], list[int]]:
     """Advance every spec in lock step, splitting cohorts as policies act.
 
-    ``specs`` must all share one :func:`batch_fingerprint`.  Returns
-    ``(results, deferred)``: ``results`` maps input index → RunResult,
-    byte-identical to the scalar simulator, for **every** lane — acting
-    lanes are carried by cohort splitting, so ``deferred`` is always empty
-    (kept for interface stability with the scalar-fallback caller).
+    ``specs`` must all share one :func:`batch_fingerprint`; their workloads
+    and seeds may differ (heterogeneous lanes).  Returns ``(results,
+    deferred)``: ``results`` maps input index → RunResult, byte-identical
+    to the scalar simulator, for **every** lane — acting lanes are carried
+    by cohort splitting, so ``deferred`` is always empty (kept for
+    interface stability with the scalar-fallback caller).
 
     ``metrics``, when given, receives batch-shape diagnostics: ``lanes``
-    (input width), ``cohorts`` (lock-step groups at completion), and
-    ``splits`` (divergence events where a cohort partitioned).
+    (input width), ``trajectories`` (distinct workload/seed groups, i.e.
+    root cohorts), ``cohorts`` (lock-step groups at completion), ``splits``
+    (divergence events where a cohort partitioned), ``lane_cohorts``, and
+    ``stream_rows`` (uops generated across all shared streams).
     """
     spec_list = list(specs)
     if not spec_list:
@@ -158,82 +190,28 @@ def simulate_lockstep(
     )
     if quantum <= 0:
         raise SimulationError("quantum must be positive")
-    workload_names = tuple(base.workloads)
 
-    # -- shared pipeline (one core, one accountant, for the root cohort) ---
-    core = build_pipeline(config0, list(workload_names))
+    # -- trajectory groups: one root cohort per distinct workloads/seed ----
+    by_trajectory: dict[str, list[int]] = {}
+    for index, spec in enumerate(spec_list):
+        by_trajectory.setdefault(trajectory_key(spec), []).append(index)
+
     energy = EnergyModel.default()
-    accountant = PowerAccountant(core, energy, config0.thermal.frequency_hz)
-    monitor = BatchUsageMonitor(
-        core, [spec.config.sedation.ewma_shift for spec in spec_list]
-    )
-
-    # -- per-network-group thermal state -----------------------------------
-    groups: dict[str, NetworkGroup] = {}
-    group_keys: list[str] = []
-    for spec in spec_list:
-        key = network_key(spec.config.thermal)
-        if key not in groups:
-            groups[key] = NetworkGroup(
-                RCThermalModel(spec.config.thermal, None, energy)
-            )
-        group_keys.append(key)
-
-    # -- per-lane sensor and DTM state -------------------------------------
-    noise_sources: list[tuple | None] = []
-    for spec in spec_list:
-        thermal = spec.config.thermal
-        if thermal.sensor_noise_k > 0.0:
-            rng = random.Random(thermal.sensor_noise_seed)
-            noise_sources.append((rng.gauss, thermal.sensor_noise_k))
-        else:
-            noise_sources.append(None)
-    detector = BatchCrossingDetector(
-        np.array([s.config.thermal.emergency_k for s in spec_list]),
-        # The scalar bank seeds its peak with the warm-start temperatures.
-        np.array(
-            [
-                float(np.max(groups[key].model.temperatures()))
-                for key in group_keys
-            ]
-        ),
-    )
-    # Expected cooling time per lane — the scalar Simulator's derivation:
-    # configured override, else 1.5 thermal time constants in cycles.
-    cooling_cycles = [
-        spec.config.sedation.expected_cooling_cycles
-        if spec.config.sedation.expected_cooling_cycles is not None
-        else spec.config.thermal.cycles_from_seconds(
-            groups[key].model.expected_cooling_seconds()
-        )
-        for spec, key in zip(spec_list, group_keys, strict=True)
-    ]
-    dtm = LaneDTM(
-        [spec.config for spec in spec_list], cooling_cycles, len(core.threads)
-    )
-
+    streams = StreamBank(config0.machine, config0.thermal)
     sample_interval = config0.sedation.sample_interval
     sensor_interval = config0.thermal.sensor_interval
     seconds_per_cycle = config0.thermal.seconds_per_cycle
 
-    root = Cohort(
-        np.arange(lanes, dtype=np.int64),
-        core,
-        accountant,
-        monitor,
-        detector,
-        noise_sources,
-        dtm,
-        groups,
-        group_keys,
-        next_sample=sample_interval,
-        next_sensor=sensor_interval,
-    )
-
     # -- the worklist: advance cohorts, splitting at visible divergence ----
     splits = 0
     finished: list[Cohort] = []
-    worklist: list[Cohort] = [root]
+    worklist: list[Cohort] = [
+        _build_root(
+            spec_list, members, streams, energy,
+            sample_interval, sensor_interval,
+        )
+        for members in by_trajectory.values()
+    ]
     while worklist:
         cohort = worklist.pop()
         children = _advance_cohort(
@@ -242,6 +220,10 @@ def simulate_lockstep(
         )
         if children is None:
             finished.append(cohort)
+            # A finished pipeline stops reading its streams; trimming then
+            # reclaims every row behind the slowest still-live cursor.
+            release_cursors(cohort.core)
+            streams.trim()
         else:
             splits += 1
             worklist.extend(children)
@@ -249,8 +231,11 @@ def simulate_lockstep(
     wall_seconds = time.perf_counter() - wall_start  # repro: noqa(RPR001) perf diagnostics only
     if metrics is not None:
         metrics["lanes"] = lanes
+        metrics["trajectories"] = len(by_trajectory)
         metrics["cohorts"] = len(finished)
         metrics["splits"] = splits
+        metrics["stream_rows"] = streams.rows_generated
+        metrics["streams"] = streams.stream_count
         # Which cohort each lane ended the quantum in, for lane-tagged
         # campaign telemetry (cohort ordinals follow completion order).
         lane_cohorts = [0] * lanes
@@ -265,8 +250,89 @@ def simulate_lockstep(
     results: dict[int, RunResult] = {}
     wall_share = wall_seconds / lanes
     for cohort in finished:
-        _collect_cohort(cohort, spec_list, workload_names, wall_share, results)
+        _collect_cohort(cohort, spec_list, wall_share, results)
     return results, []
+
+
+def _build_root(
+    spec_list: list,
+    members: list[int],
+    streams: StreamBank,
+    energy: EnergyModel,
+    sample_interval: int,
+    sensor_interval: int,
+) -> Cohort:
+    """Root cohort for one trajectory group (lanes sharing workloads+seed).
+
+    Builds the group's shared pipeline from the stream bank plus every
+    per-lane SoA bank, exactly as the homogeneous engine did for its single
+    root — the heterogeneous kernel is N of these on one worklist, sharing
+    generated streams wherever trajectories overlap.
+    """
+    base = spec_list[members[0]]
+    config0 = base.config
+    workload_names = tuple(base.workloads)
+    core = build_streamed_pipeline(config0, workload_names, streams)
+    accountant = PowerAccountant(core, energy, config0.thermal.frequency_hz)
+    monitor = BatchUsageMonitor(
+        core,
+        [spec_list[index].config.sedation.ewma_shift for index in members],
+    )
+
+    # Per-network-group thermal state (lanes with equal thermal configs
+    # share one packed trajectory within the cohort).
+    groups: dict[str, NetworkGroup] = {}
+    group_keys: list[str] = []
+    for index in members:
+        key = network_key(spec_list[index].config.thermal)
+        if key not in groups:
+            groups[key] = NetworkGroup(
+                RCThermalModel(spec_list[index].config.thermal, None, energy)
+            )
+        group_keys.append(key)
+
+    rng = LaneRngBank([spec_list[index].config.thermal for index in members])
+    detector = BatchCrossingDetector(
+        np.array(
+            [spec_list[index].config.thermal.emergency_k for index in members]
+        ),
+        # The scalar bank seeds its peak with the warm-start temperatures.
+        np.array(
+            [
+                float(np.max(groups[key].model.temperatures()))
+                for key in group_keys
+            ]
+        ),
+    )
+    # Expected cooling time per lane — the scalar Simulator's derivation:
+    # configured override, else 1.5 thermal time constants in cycles.
+    cooling_cycles = [
+        spec_list[index].config.sedation.expected_cooling_cycles
+        if spec_list[index].config.sedation.expected_cooling_cycles is not None
+        else spec_list[index].config.thermal.cycles_from_seconds(
+            groups[key].model.expected_cooling_seconds()
+        )
+        for index, key in zip(members, group_keys, strict=True)
+    ]
+    dtm = LaneDTM(
+        [spec_list[index].config for index in members],
+        cooling_cycles,
+        len(core.threads),
+    )
+    return Cohort(
+        np.asarray(members, dtype=np.int64),
+        workload_names,
+        core,
+        accountant,
+        monitor,
+        detector,
+        rng,
+        dtm,
+        groups,
+        group_keys,
+        next_sample=sample_interval,
+        next_sensor=sensor_interval,
+    )
 
 
 def _advance_cohort(
@@ -290,7 +356,7 @@ def _advance_cohort(
     dtm = cohort.dtm
     width = cohort.width
     temps = np.empty((width, NUM_BLOCKS))
-    group_list = list(cohort.groups.values())
+    group_list = cohort.group_list
 
     while core.cycle < target:
         if cohort.stalled:
@@ -301,7 +367,7 @@ def _advance_cohort(
             monitor.skip()
             for thread in core.threads:
                 thread.cycles_cooling += chunk
-            _sample_sensors(cohort, temps)
+            sample_sensors(cohort, temps)
             changed = dtm.on_sensor_stalled(temps.max(axis=1))
             # The stall supersedes the grids: both restart from here.
             cohort.next_sample = core.cycle + sample_interval
@@ -328,7 +394,7 @@ def _advance_cohort(
         if core.cycle >= cohort.next_sensor:
             powers = accountant.block_powers(cohort.power_scale)
             _advance_groups(cohort, group_list, powers, seconds_per_cycle)
-            _sample_sensors(cohort, temps)
+            sample_sensors(cohort, temps)
             halted = [thread.halted for thread in core.threads]
             changed = dtm.on_sensor(
                 core.cycle, temps, temps.max(axis=1), halted,
@@ -343,7 +409,7 @@ def _advance_cohort(
     return None
 
 
-def _run_span(core, slowdown: int, span: int) -> None:
+def _run_span(core, slowdown: int, span: int) -> None:  # repro: twin(run-span)
     """The scalar ``Simulator._run_span``, driven by the cohort's slowdown."""
     if slowdown > 1:
         active = span // slowdown
@@ -391,29 +457,6 @@ def _advance_groups(
     cohort.last_thermal = cycle
 
 
-def _sample_sensors(cohort: Cohort, temps: np.ndarray) -> None:
-    """Fill ``temps`` with every lane's reported reading; record crossings.
-
-    Noise draws consume each lane's private RNG in the scalar order (one
-    Gaussian per block per boundary), so a lane's noise stream is identical
-    whichever cohort it currently rides in.
-    """
-    groups = cohort.groups
-    for position, key in enumerate(cohort.group_keys):
-        group = groups[key]
-        if group.ideal:
-            temps[position] = group.model.t_block
-        else:
-            temps[position] = group.state[:NUM_BLOCKS]
-        noise = cohort.noise[position]
-        if noise is not None:
-            gauss, sigma = noise
-            row = temps[position]
-            for block in range(NUM_BLOCKS):
-                row[block] += gauss(0.0, sigma)
-    cohort.detector.observe(temps)
-
-
 def _partition(dtm: LaneDTM, width: int) -> list[list[int]]:
     """Group lane positions by visible key, in first-occurrence order."""
     partitions: dict[tuple, list[int]] = {}
@@ -425,7 +468,6 @@ def _partition(dtm: LaneDTM, width: int) -> list[list[int]]:
 def _collect_cohort(
     cohort: Cohort,
     spec_list: list,
-    workload_names: tuple[str, ...],
     wall_share: float,
     results: dict[int, RunResult],
 ) -> None:
@@ -433,6 +475,7 @@ def _collect_cohort(
     core = cohort.core
     dtm = cohort.dtm
     detector = cohort.detector
+    workload_names = cohort.workloads
     cycles = core.cycle
     idle_skipped = core.perf_idle_skipped
     stall_skipped = core.perf_stall_skipped

@@ -46,7 +46,6 @@ telemetry/fault hooks (batch lanes carry neither).
 
 from __future__ import annotations
 
-import copy
 import dataclasses
 import json
 
@@ -472,25 +471,42 @@ class LaneDTM:
         return clone
 
 
+def _group_layout(groups: dict, group_keys: list[str]) -> tuple[list, list[int]]:
+    """Positional view of the network groups: (group list, lane → ordinal).
+
+    ``groups`` preserves first-occurrence order of ``group_keys``, so the
+    ordinal of a lane's group is stable across splits — the sensor gather
+    (:func:`repro.sim.soa.sample_sensors`) indexes the stacked group states
+    with the lane → ordinal array instead of a per-lane dict lookup.
+    """
+    ordinals = {key: position for position, key in enumerate(groups)}
+    return list(groups.values()), [ordinals[key] for key in group_keys]
+
+
 class Cohort:
     """One lock-step group: lanes with identical pipeline-visible history.
 
     Owns one pipeline (+ power accountant), one usage-monitor bank, one
-    crossing detector, per-lane noise streams, the DTM bank, and one
-    thermal network group per distinct thermal config among its lanes.
-    ``lanes`` maps row position → original spec index.
+    crossing detector, the per-lane sensor-noise RNG bank, the DTM bank,
+    and one thermal network group per distinct thermal config among its
+    lanes.  ``lanes`` maps row position → original spec index;
+    ``workloads`` names the trajectory every lane of this cohort shares
+    (heterogeneous batches run one cohort tree per trajectory).
     """
 
     __slots__ = (
         "lanes",
+        "workloads",
         "core",
         "accountant",
         "monitor",
         "detector",
-        "noise",
+        "rng",
         "dtm",
         "groups",
         "group_keys",
+        "group_list",
+        "group_rows",
         "stalled",
         "slowdown",
         "power_scale",
@@ -502,11 +518,12 @@ class Cohort:
     def __init__(
         self,
         lanes,
+        workloads,
         core,
         accountant,
         monitor,
         detector,
-        noise,
+        rng,
         dtm,
         groups,
         group_keys,
@@ -514,14 +531,17 @@ class Cohort:
         next_sensor: int,
     ) -> None:
         self.lanes = np.asarray(lanes, dtype=np.int64)
+        self.workloads = tuple(workloads)
         self.core = core
         self.accountant = accountant
         self.monitor = monitor
         self.detector = detector
-        self.noise = list(noise)
+        self.rng = rng
         self.dtm = dtm
         self.groups = dict(groups)
         self.group_keys = list(group_keys)
+        self.group_list, rows = _group_layout(self.groups, self.group_keys)
+        self.group_rows = np.array(rows, dtype=np.int64)
         self.stalled = False
         self.slowdown = 1
         self.power_scale = 1.0
@@ -580,24 +600,28 @@ class Cohort:
         indices = np.asarray(positions, dtype=np.int64)
         child = Cohort.__new__(Cohort)
         child.lanes = self.lanes[indices]
+        child.workloads = self.workloads
         if reuse:
             child.core = self.core
             child.accountant = self.accountant
         else:
-            # One deepcopy, shared memo: the copied accountant keeps
-            # pointing at the copied core.
-            child.core, child.accountant = copy.deepcopy(
-                (self.core, self.accountant)
-            )
+            # Structured fork: the in-flight uop graph, caches, and
+            # counters are cloned (identity-preserving); stream cursors
+            # fork in O(1); the forked accountant points at the forked
+            # core.
+            child.core = self.core.fork()
+            child.accountant = self.accountant.fork(child.core)
         child.monitor = self.monitor.take(indices, child.core)
         child.detector = self.detector.take(indices)
-        child.noise = [self.noise[position] for position in positions]
+        child.rng = self.rng.take(indices)
         child.dtm = self.dtm.take(indices)
         child.group_keys = [self.group_keys[position] for position in positions]
         child.groups = {}
         for key in dict.fromkeys(child.group_keys):
             group = self.groups[key]
             child.groups[key] = group if reuse else group.fork()
+        child.group_list, rows = _group_layout(child.groups, child.group_keys)
+        child.group_rows = np.array(rows, dtype=np.int64)
         child.stalled = self.stalled
         child.slowdown = self.slowdown
         child.power_scale = self.power_scale

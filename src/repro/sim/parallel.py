@@ -58,7 +58,7 @@ from ..config import SimulationConfig
 from ..errors import FaultError, SimulationError
 from ..telemetry.events import EventType
 from ..telemetry.metrics import MetricsRegistry
-from .batch import batch_fingerprint, simulate_lockstep
+from .batch import batch_fingerprint, simulate_lockstep, trajectory_key
 from .campaign import CampaignResult, QuantumRecord, run_campaign
 from .results import FORMAT_VERSION, result_from_dict, result_to_dict
 from .simulator import run_workloads
@@ -770,8 +770,14 @@ def _run_lockstep_groups(
     """The lock-step batch tier: amortize compatible specs on one pipeline.
 
     Groups the pending specs by :func:`~repro.sim.batch.batch_fingerprint`
-    and runs each multi-spec group through
-    :func:`~repro.sim.batch.simulate_lockstep`.  Every lane of a group is
+    and runs each group through
+    :func:`~repro.sim.batch.simulate_lockstep`, which batches
+    heterogeneous lanes (mixed workloads × mixed seeds) as one cohort tree
+    per :func:`~repro.sim.batch.trajectory_key`.  Lanes whose trajectory
+    is *unique* within their group amortize nothing — the kernel would run
+    them one pipeline each, pure overhead over a scalar run — so they
+    route straight to the scalar tiers; this also covers the width-1 case
+    (a singleton group is optimal scalar work).  Every batched lane is
     booked directly into ``outcomes`` (byte-identical to the scalar path,
     so downstream caching and dedup behave as if the scalar simulator had
     run); acting lanes are retained in-batch by cohort splitting
@@ -785,12 +791,25 @@ def _run_lockstep_groups(
         group_key = batch_fingerprint(spec)
         if group_key is not None:
             groups.setdefault(group_key, []).append((key, spec))
-    for members in groups.values():
+    for candidates in groups.values():
+        lane_counts: dict[str, int] = {}
+        for _, spec in candidates:
+            t_key = trajectory_key(spec)
+            lane_counts[t_key] = lane_counts.get(t_key, 0) + 1
+        members = [
+            (key, spec)
+            for key, spec in candidates
+            if lane_counts[trajectory_key(spec)] >= 2
+        ]
         if len(members) < 2:
             continue  # nothing to amortize; the scalar path is optimal
         specs = [spec for _, spec in members]
         RUNNER_METRICS.inc("runner.batch_groups")
         RUNNER_METRICS.inc("runner.batch_lanes", len(members))
+        RUNNER_METRICS.inc(
+            "runner.batch_trajectories",
+            sum(1 for count in lane_counts.values() if count >= 2),
+        )
         batch_metrics: dict = {}
         try:
             if timeout is not None:

@@ -323,7 +323,7 @@ class Simulator:
             ),
         }
 
-    def _run_span(self, span: int) -> None:
+    def _run_span(self, span: int) -> None:  # repro: twin(run-span)
         """Run the pipeline for ``span`` cycles, honoring DVFS slowdown."""
         core = self.core
         slowdown = self.policy.slowdown

@@ -68,11 +68,11 @@ class SensorBank:
     def sample(self, cycle: int) -> SensorReading:
         """Read every sensor; record upward crossings of the emergency point."""
         temperatures = self.model.temperatures()
-        if self.noise_k > 0.0:
+        if self.noise_k > 0.0:  # repro: twin(sensor-noise) begin
             gauss = self._rng.gauss
             noise = self.noise_k
             for block in range(NUM_BLOCKS):
-                temperatures[block] += gauss(0.0, noise)
+                temperatures[block] += gauss(0.0, noise)  # repro: twin(sensor-noise) end
         if self.fault_injector is not None:
             self.fault_injector.apply(cycle, temperatures)
         crossings: list[int] = []

@@ -31,7 +31,7 @@ from repro.core.usage import BatchUsageMonitor, UsageMonitor
 from repro.errors import SimulationError
 from repro.faults import FaultPlan, SensorFaultPlan
 from repro.sim import RunSpec, run_many
-from repro.sim.batch import batch_fingerprint, simulate_lockstep
+from repro.sim.batch import batch_fingerprint, simulate_lockstep, trajectory_key
 from repro.sim.parallel import CampaignSpec, spec_fingerprint
 from repro.sim.results import result_to_dict
 from repro.sim.simulator import Simulator, build_pipeline
@@ -71,17 +71,26 @@ class TestFingerprint:
         keys = {batch_fingerprint(spec) for spec in specs}
         assert len(keys) == 1 and None not in keys
 
-    def test_pipeline_inputs_split_the_fingerprint(self):
+    def test_grid_inputs_split_the_fingerprint(self):
+        # Since schema 2 only the kernel-global inputs (event grid, machine,
+        # time base) split the fingerprint; workloads and seed became
+        # per-trajectory inputs.
         base = RunSpec(("gcc", "swim"), tiny_config())
-        assert batch_fingerprint(base) != batch_fingerprint(
-            RunSpec(("gcc", "mcf"), tiny_config())
-        )
-        assert batch_fingerprint(base) != batch_fingerprint(
-            RunSpec(("gcc", "swim"), tiny_config(seed=99))
-        )
         assert batch_fingerprint(base) != batch_fingerprint(
             RunSpec(("gcc", "swim"), tiny_config(), quantum_cycles=7_000)
         )
+        assert batch_fingerprint(base) != batch_fingerprint(
+            RunSpec(("gcc", "swim"), tiny_config(time_scale=4_000.0))
+        )
+
+    def test_workloads_and_seed_share_a_fingerprint_but_not_a_trajectory(self):
+        base = RunSpec(("gcc", "swim"), tiny_config())
+        mixed = RunSpec(("gcc", "mcf"), tiny_config())
+        reseeded = RunSpec(("gcc", "swim"), tiny_config(seed=99))
+        assert batch_fingerprint(base) == batch_fingerprint(mixed)
+        assert batch_fingerprint(base) == batch_fingerprint(reseeded)
+        keys = {trajectory_key(s) for s in (base, mixed, reseeded)}
+        assert len(keys) == 3
 
     def test_unbatchable_specs_fingerprint_to_none(self):
         config = tiny_config()
@@ -212,11 +221,13 @@ class TestEquivalenceGate:
         assert canonical(lane_results[0]) == canonical(scalar)
 
     def test_mixed_fingerprints_rejected(self):
+        # Workload mixes share a fingerprint since schema 2; the event grid
+        # (quantum here) still must not mix within one kernel call.
         with pytest.raises(SimulationError):
             simulate_lockstep(
                 [
                     RunSpec(("gcc", "swim"), tiny_config()),
-                    RunSpec(("gcc", "mcf"), tiny_config()),
+                    RunSpec(("gcc", "swim"), tiny_config(), quantum_cycles=7_000),
                 ]
             )
         with pytest.raises(SimulationError):
@@ -451,3 +462,343 @@ class TestVectorForms:
         for tid in range(2):
             for block in range(NUM_BLOCKS):
                 assert lane0[tid, block] == scalar.weighted_average(tid, block)
+
+
+class TestHeterogeneousLanes:
+    """Schema-2 kernel calls: mixed workloads and seeds, one batch."""
+
+    def test_mixed_workloads_and_seeds_all_policies(self):
+        # Three trajectories (two workload mixes, two seeds) x all six
+        # policies ride one kernel call and byte-match the scalar path.
+        base = tiny_config()
+        reseeded = tiny_config(seed=99)
+        specs = (
+            [RunSpec(("gcc", "swim"), base.with_policy(p)) for p in POLICIES]
+            + [RunSpec(("gcc", "mcf"), base.with_policy(p)) for p in POLICIES]
+            + [
+                RunSpec(("gcc", "swim"), reseeded.with_policy(p))
+                for p in POLICIES
+            ]
+        )
+        assert_equivalent(specs)
+
+    def test_mixed_attack_and_benign_trajectories(self):
+        # Acting and quiet trajectories share the worklist: attack lanes
+        # split into cohorts on DTM divergence while benign trajectories
+        # keep lock-step, all in one call.
+        base = tiny_config()
+        reseeded = tiny_config(seed=17)
+        specs = [
+            RunSpec(("gcc", "variant1"), base.with_policy(p))
+            for p in POLICIES
+        ]
+        specs += [
+            RunSpec(("gcc", "swim"), base.with_policy(p))
+            for p in ("ideal", "stop_and_go", "sedation")
+        ]
+        specs += [
+            RunSpec(("gcc", "variant1"), reseeded.with_policy(p))
+            for p in ("stop_and_go", "dvfs")
+        ]
+        assert_equivalent(specs)
+
+    def test_ragged_halt_lanes_mix_with_live_lanes(self):
+        # Workload lengths differ across trajectories ("idle" halts at
+        # cycle ~0); halted threads stop fetching inside their own
+        # trajectory group's pipeline, with no cross-group masking needed.
+        base = tiny_config()
+        specs = [
+            RunSpec(("mcf", "idle"), base.with_policy(p))
+            for p in ("ideal", "stop_and_go")
+        ]
+        specs += [RunSpec(("idle", "idle"), base) for _ in range(2)]
+        specs += [
+            RunSpec(("gcc", "swim"), base.with_policy(p))
+            for p in ("ideal", "stop_and_go")
+        ]
+        assert_equivalent(specs)
+
+    def test_stream_sharing_across_trajectory_groups(self):
+        # "gcc" at thread 0 appears in both mixes with the same seed: the
+        # bank generates that stream once (3 streams for 2 x 2 workloads),
+        # and each trajectory group still byte-matches its scalar twin.
+        base = tiny_config("stop_and_go")
+        specs = [
+            RunSpec(("gcc", "swim"), base),
+            RunSpec(("gcc", "swim"), base.with_policy("ideal")),
+            RunSpec(("gcc", "mcf"), base),
+            RunSpec(("gcc", "mcf"), base.with_policy("ideal")),
+        ]
+        metrics: dict = {}
+        lane_results, deferred = simulate_lockstep(specs, metrics)
+        assert deferred == []
+        assert metrics["lanes"] == 4
+        assert metrics["trajectories"] == 2
+        assert metrics["streams"] == 3
+        scalar = run_many(specs, jobs=1, cache=False, batch=False)
+        for lane, spec in enumerate(specs):
+            assert canonical(lane_results[lane]) == canonical(scalar[lane]), spec
+
+    def test_distinct_seeds_make_distinct_streams(self):
+        base = tiny_config()
+        specs = [
+            RunSpec(("gcc", "swim"), base),
+            RunSpec(("gcc", "swim"), base.with_policy("stop_and_go")),
+            RunSpec(("gcc", "swim"), tiny_config(seed=99)),
+            RunSpec(
+                ("gcc", "swim"), tiny_config(seed=99).with_policy("stop_and_go")
+            ),
+        ]
+        metrics: dict = {}
+        lane_results, deferred = simulate_lockstep(specs, metrics)
+        assert deferred == []
+        assert metrics["trajectories"] == 2
+        assert metrics["streams"] == 4  # both threads regenerate per seed
+
+
+class TestStreamCursor:
+    """Replay unit tests: cursors against the live scalar sources."""
+
+    @staticmethod
+    def _fields(uop):
+        return (
+            uop.thread,
+            uop.pc,
+            uop.opclass,
+            uop.dest,
+            uop.srcs,
+            uop.address,
+            uop.taken,
+            uop.mispredict,
+        )
+
+    def test_cursor_replays_scalar_source_uop_for_uop(self):
+        from repro.pipeline.banks import SharedStream, StreamCursor
+        from repro.workloads.registry import make_source
+
+        config = tiny_config()
+        scalar = make_source(
+            "gcc", 1, config.machine, config.thermal, seed=config.seed
+        )
+        stream = SharedStream(
+            make_source("gcc", 1, config.machine, config.thermal, seed=config.seed)
+        )
+        cursor = StreamCursor(stream, 1)
+        for _ in range(5_000):
+            assert cursor.peek_pc() == scalar.peek_pc()
+            mine, theirs = cursor.next_uop(), scalar.next_uop()
+            if theirs is None:
+                assert mine is None
+                break
+            assert self._fields(mine) == self._fields(theirs)
+
+    def test_cursor_fork_continues_identically(self):
+        from repro.pipeline.banks import SharedStream, StreamCursor
+        from repro.workloads.registry import make_source
+
+        config = tiny_config()
+        stream = SharedStream(
+            make_source("swim", 0, config.machine, config.thermal, seed=config.seed)
+        )
+        cursor = StreamCursor(stream, 0)
+        for _ in range(1_000):
+            cursor.next_uop()
+        twin = cursor.fork()
+        assert twin.index == cursor.index and twin.thread_id == 0
+        for _ in range(500):
+            a, b = cursor.next_uop(), twin.next_uop()
+            assert self._fields(a) == self._fields(b)
+            assert a is not b  # re-hydrated objects, never shared
+        # cursors advance independently after the fork
+        cursor.next_uop()
+        assert cursor.index == twin.index + 1
+
+    def test_peek_at_halt_matches_program_source(self):
+        # "idle" is a ProgramSource: peek_pc reports the halt instruction's
+        # pc (>= 0) even though next_uop refuses it.  The cursor must
+        # replay that quirk — the core I-cache-accesses the peeked pc.
+        from repro.pipeline.banks import SharedStream, StreamCursor
+        from repro.workloads.registry import make_source
+
+        config = tiny_config()
+        scalar = make_source(
+            "idle", 0, config.machine, config.thermal, seed=config.seed
+        )
+        stream = SharedStream(
+            make_source("idle", 0, config.machine, config.thermal, seed=config.seed)
+        )
+        cursor = StreamCursor(stream, 0)
+        while True:
+            assert cursor.peek_pc() == scalar.peek_pc()
+            mine, theirs = cursor.next_uop(), scalar.next_uop()
+            if theirs is None:
+                assert mine is None
+                break
+            assert self._fields(mine) == self._fields(theirs)
+        # halted: peek keeps reporting the same pc, next keeps refusing
+        assert cursor.peek_pc() == scalar.peek_pc()
+        assert cursor.next_uop() is None
+
+    def test_trim_respects_slowest_cursor(self):
+        from repro.pipeline.banks import SharedStream, StreamCursor
+        from repro.workloads.registry import make_source
+
+        config = tiny_config()
+        stream = SharedStream(
+            make_source("gcc", 0, config.machine, config.thermal, seed=config.seed)
+        )
+        fast = StreamCursor(stream, 0)
+        slow = StreamCursor(stream, 0)
+        for _ in range(20_000):
+            fast.next_uop()
+        stream.trim()
+        assert stream.base == 0  # slow cursor pins the window
+        reference = fast.fork()
+        for _ in range(9_000):
+            slow.next_uop()
+        stream.trim()
+        assert stream.base == slow.index  # slack exceeded: compacting
+        # surviving cursors replay unchanged across the compaction
+        resumed = StreamCursor(stream, 0, reference.index)
+        assert self._fields(resumed.next_uop()) == self._fields(
+            reference.next_uop()
+        )
+        slow.release()
+        assert slow not in stream.cursors
+
+
+class TestLaneRngBank:
+    """The RNG-bank contract: scalar draw order, streams travel with lanes."""
+
+    def test_draw_order_matches_scalar_injector_stream(self):
+        import random as _random
+
+        from repro.sim.soa import LaneRngBank
+
+        base = tiny_config()
+        noisy = dataclasses.replace(
+            base.thermal, sensor_noise_k=0.25, sensor_noise_seed=42
+        )
+        bank = LaneRngBank([noisy, base.thermal])
+        temps = np.zeros((2, NUM_BLOCKS))
+        bank.fill(temps)
+        reference = _random.Random(42)
+        expected = [reference.gauss(0.0, 0.25) for _ in range(NUM_BLOCKS)]
+        assert list(temps[0]) == expected
+        assert not temps[1].any()  # quiet lane: no draws, no perturbation
+        # the next boundary continues the same stream, block order again
+        temps[:] = 0.0
+        bank.fill(temps)
+        expected = [reference.gauss(0.0, 0.25) for _ in range(NUM_BLOCKS)]
+        assert list(temps[0]) == expected
+
+    def test_draws_match_scalar_sensor_bank(self):
+        from repro.sim.soa import LaneRngBank
+        from repro.thermal.rcmodel import RCThermalModel
+
+        base = tiny_config()
+        noisy = dataclasses.replace(
+            base.thermal, sensor_noise_k=0.5, sensor_noise_seed=7
+        )
+        scalar = SensorBank(
+            RCThermalModel(noisy),
+            emergency_k=noisy.emergency_k,
+            noise_k=noisy.sensor_noise_k,
+            noise_seed=noisy.sensor_noise_seed,
+        )
+        bank = LaneRngBank([noisy])
+        for cycle in range(3):
+            reading = scalar.sample(cycle)
+            temps = np.array([scalar.model.temperatures()])
+            bank.fill(temps)
+            assert list(temps[0]) == list(reading.temperatures)
+
+    def test_take_moves_streams_by_reference(self):
+        import random as _random
+
+        from repro.sim.soa import LaneRngBank
+
+        base = tiny_config()
+        lane_a = dataclasses.replace(
+            base.thermal, sensor_noise_k=0.25, sensor_noise_seed=5
+        )
+        lane_b = dataclasses.replace(
+            base.thermal, sensor_noise_k=1.5, sensor_noise_seed=11
+        )
+        bank = LaneRngBank([lane_a, lane_b])
+        bank.fill(np.zeros((2, NUM_BLOCKS)))
+        child = bank.take(np.array([1]))
+        assert child.rngs[0] is bank.rngs[1]  # moved, not reseeded
+        assert float(child.sigmas[0]) == 1.5
+        temps = np.zeros((1, NUM_BLOCKS))
+        child.fill(temps)
+        reference = _random.Random(11)
+        for _ in range(NUM_BLOCKS):  # boundary drawn before the split
+            reference.gauss(0.0, 1.5)
+        expected = [reference.gauss(0.0, 1.5) for _ in range(NUM_BLOCKS)]
+        assert list(temps[0]) == expected
+
+    def test_all_quiet_bank_skips_work(self):
+        from repro.sim.soa import LaneRngBank
+
+        base = tiny_config()
+        bank = LaneRngBank([base.thermal, base.thermal])
+        assert not bank.noisy and bank.rngs == [None, None]
+        temps = np.zeros((2, NUM_BLOCKS))
+        bank.fill(temps)
+        assert not temps.any()
+
+
+class TestTierRouting:
+    """run_many routes lanes the kernel cannot amortize back to scalar."""
+
+    def _counters(self):
+        from repro.sim import RUNNER_METRICS
+
+        counters = RUNNER_METRICS.counters
+        return (
+            counters.get("runner.batch_lanes", 0),
+            counters.get("runner.batch_trajectories", 0),
+        )
+
+    def test_width_one_group_routes_scalar(self):
+        lanes_before, _ = self._counters()
+        run_many(
+            [RunSpec(("gcc", "swim"), tiny_config())],
+            jobs=1,
+            cache=False,
+            batch=True,
+        )
+        lanes_after, _ = self._counters()
+        assert lanes_after == lanes_before  # no single-lane kernel calls
+
+    def test_unique_trajectory_lanes_route_scalar(self):
+        # Same fingerprint, but every lane is its own trajectory: the
+        # kernel would deep-share nothing, so all of them go scalar.
+        lanes_before, _ = self._counters()
+        specs = [
+            RunSpec(("gcc", "swim"), tiny_config()),
+            RunSpec(("gcc", "mcf"), tiny_config()),
+            RunSpec(("gcc", "swim"), tiny_config(seed=99)),
+        ]
+        results = run_many(specs, jobs=1, cache=False, batch=True)
+        lanes_after, _ = self._counters()
+        assert lanes_after == lanes_before
+        scalar = run_many(specs, jobs=1, cache=False, batch=False)
+        for fast, slow in zip(results, scalar, strict=True):
+            assert canonical(fast) == canonical(slow)
+
+    def test_paired_trajectories_ride_the_kernel(self):
+        base = tiny_config()
+        specs = [
+            RunSpec(("gcc", "swim"), base),
+            RunSpec(("gcc", "swim"), base.with_policy("stop_and_go")),
+            RunSpec(("gcc", "mcf"), base),
+            RunSpec(("gcc", "mcf"), base.with_policy("stop_and_go")),
+            RunSpec(("gcc", "gzip"), base),  # unique: stays scalar
+        ]
+        lanes_before, trajectories_before = self._counters()
+        run_many(specs, jobs=1, cache=False, batch=True)
+        lanes_after, trajectories_after = self._counters()
+        assert lanes_after - lanes_before == 4
+        assert trajectories_after - trajectories_before == 2

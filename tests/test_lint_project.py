@@ -349,6 +349,30 @@ class TestTwinPathRule:
         assert codes(result) == ["RPR006"]
         assert "sedation-safety-net" in result.findings[0].message
 
+    def test_real_tree_run_span_mutation(self, tmp_path):
+        """Drifting the batch hot loop away from Simulator._run_span fires."""
+        shutil.copytree(REPO_ROOT / "src", tmp_path / "src")
+        batch = tmp_path / "src" / "repro" / "sim" / "batch.py"
+        text = batch.read_text()
+        pristine = "if slowdown > 1:"
+        assert pristine in text
+        batch.write_text(text.replace(pristine, "if slowdown > 2:", 1))
+        result = run_lint([tmp_path / "src"], LintConfig(select=("RPR006",)))
+        assert codes(result) == ["RPR006"]
+        assert "run-span" in result.findings[0].message
+
+    def test_real_tree_sensor_noise_mutation(self, tmp_path):
+        """Drifting the RNG bank's noise guard off SensorBank.sample fires."""
+        shutil.copytree(REPO_ROOT / "src", tmp_path / "src")
+        soa = tmp_path / "src" / "repro" / "sim" / "soa.py"
+        text = soa.read_text()
+        pristine = "if sigma > 0.0:"
+        assert pristine in text
+        soa.write_text(text.replace(pristine, "if sigma > 0.5:", 1))
+        result = run_lint([tmp_path / "src"], LintConfig(select=("RPR006",)))
+        assert codes(result) == ["RPR006"]
+        assert "sensor-noise" in result.findings[0].message
+
 
 # -- RPR007: transitive determinism taint -------------------------------------
 
@@ -634,6 +658,32 @@ class TestBankShapeRule:
             "sim/banks.py": source,
         }, select=("RPR009",))
         assert result.findings == [] and result.suppressed == 1
+
+    def test_real_tree_rng_bank_take_covers_sigmas(self, tmp_path):
+        """Dropping the sigma gather from LaneRngBank.take fires RPR009."""
+        shutil.copytree(REPO_ROOT / "src", tmp_path / "src")
+        soa = tmp_path / "src" / "repro" / "sim" / "soa.py"
+        text = soa.read_text()
+        pristine = "        clone.sigmas = self.sigmas[indices]\n"
+        assert pristine in text
+        soa.write_text(text.replace(pristine, "", 1))
+        result = run_lint([tmp_path / "src"], LintConfig(select=("RPR009",)))
+        assert codes(result) == ["RPR009"]
+        assert "'sigmas'" in result.findings[0].message
+
+    def test_real_tree_cohort_take_keeps_group_rows_dtype(self, tmp_path):
+        shutil.copytree(REPO_ROOT / "src", tmp_path / "src")
+        cohort = tmp_path / "src" / "repro" / "sim" / "cohort.py"
+        text = cohort.read_text()
+        pristine = "child.group_rows = np.array(rows, dtype=np.int64)"
+        assert pristine in text
+        cohort.write_text(
+            text.replace(pristine, pristine.replace("int64", "int32"), 1)
+        )
+        result = run_lint([tmp_path / "src"], LintConfig(select=("RPR009",)))
+        assert codes(result) == ["RPR009"]
+        assert "different dtype" in result.findings[0].message
+        assert "group_rows" in result.findings[0].message
 
 
 # -- the findings baseline ----------------------------------------------------

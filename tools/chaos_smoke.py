@@ -23,6 +23,15 @@ own process, and asserts the merged result list is byte-identical
 same campaign in a separate cache — with exactly one rollup covering the
 full member set.
 
+A third scenario repeats the kill-and-resume shape against the
+**heterogeneous batch kernel**: the campaign's waves mix workload pairs
+and seeds (two trajectory groups per wave), the child is SIGKILLed while
+a wave rides the lock-step kernel, and the resume — which re-dispatches
+the interrupted wave through the same kernel — must still produce results
+byte-identical to an uninterrupted run.  Runner metrics confirm the
+resumed lanes actually went through the batch tier, not a scalar
+fallback.
+
 Exit status 0 = contract holds.  Runs in a few seconds; CI executes it on
 every push (the ``chaos`` job), and it is equally useful locally:
 
@@ -31,6 +40,7 @@ every push (the ``chaos`` job), and it is equally useful locally:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import signal
 import subprocess
@@ -156,6 +166,99 @@ def durable_checks() -> list[tuple[str, bool]]:
     return checks
 
 
+def het_durable_specs() -> list[RunSpec]:
+    """The heterogeneous kill-and-resume campaign: mixed pairs and seeds.
+
+    Eight specs over two trajectory groups — ``(gcc, swim)`` at the base
+    seed and ``(gzip, mcf)`` at seed 99 — interleaved so every wave of
+    four holds both trajectories and rides one heterogeneous kernel call.
+    """
+    base = scaled_config(time_scale=8_000.0, quantum_cycles=12_000)
+    reseeded = dataclasses.replace(base, seed=99)
+    specs = []
+    for policy in ("ideal", "stop_and_go", "dvfs", "sedation"):
+        specs.append(RunSpec(("gcc", "swim"), base.with_policy(policy)))
+        specs.append(RunSpec(("gzip", "mcf"), reseeded.with_policy(policy)))
+    return specs
+
+
+def het_durable_child(cache_dir: str) -> int:
+    """Child mode: drive the heterogeneous campaign until killed."""
+    from repro.sim.durable import run_durable
+
+    run_durable(
+        het_durable_specs(), cache_dir=cache_dir, jobs=1, wave_size=4,
+        raise_on_error=False,
+    )
+    return 0
+
+
+def het_durable_checks() -> list[tuple[str, bool]]:
+    """SIGKILL during a heterogeneous batch wave -> resume -> identity."""
+    from repro.sim.durable import (
+        JOURNAL_DIR,
+        derive_campaign_id,
+        resume_campaign,
+        results_to_canonical_json,
+        run_durable,
+    )
+
+    specs = het_durable_specs()
+    campaign = derive_campaign_id([spec_fingerprint(s) for s in specs])
+    checks: list[tuple[str, bool]] = []
+    with tempfile.TemporaryDirectory() as killed_dir, \
+            tempfile.TemporaryDirectory() as clean_dir:
+        child = subprocess.Popen(
+            [sys.executable, __file__, "--het-durable-child", killed_dir],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        journal_dir = Path(killed_dir) / JOURNAL_DIR / campaign
+        deadline = time.monotonic() + 120.0
+        completed = 0
+        while time.monotonic() < deadline:
+            completed = _completed_records(journal_dir)
+            if completed >= 2 or child.poll() is not None:
+                break
+            time.sleep(0.02)
+        killed_midway = child.poll() is None and 2 <= completed < len(specs)
+        child.send_signal(signal.SIGKILL)
+        child.wait()
+        checks.append(
+            ("child SIGKILLed during a heterogeneous batch wave",
+             killed_midway)
+        )
+
+        before = dict(RUNNER_METRICS.counters)
+        resumed = resume_campaign(
+            campaign, cache_dir=killed_dir, jobs=1, raise_on_error=False
+        )
+        lanes = (RUNNER_METRICS.counters.get("runner.batch_lanes", 0)
+                 - before.get("runner.batch_lanes", 0))
+        trajectories = (
+            RUNNER_METRICS.counters.get("runner.batch_trajectories", 0)
+            - before.get("runner.batch_trajectories", 0)
+        )
+        checks.append(
+            ("heterogeneous resume finished every slot",
+             not any(isinstance(r, RunFailure) for r in resumed))
+        )
+        checks.append(
+            ("resume rode the heterogeneous batch kernel",
+             lanes >= 4 and trajectories >= 2)
+        )
+
+        clean = run_durable(
+            specs, cache_dir=clean_dir, jobs=1, wave_size=4,
+            raise_on_error=False,
+        )
+        checks.append(
+            ("heterogeneous resume byte-identical to an uninterrupted run",
+             results_to_canonical_json(resumed)
+             == results_to_canonical_json(clean))
+        )
+    return checks
+
+
 def main() -> int:
     config = scaled_config(time_scale=20_000.0, quantum_cycles=3_000)
 
@@ -213,6 +316,7 @@ def main() -> int:
         ]
 
     checks.extend(durable_checks())
+    checks.extend(het_durable_checks())
 
     width = max(len(label) for label, _ in checks)
     failed = 0
@@ -235,4 +339,6 @@ def main() -> int:
 if __name__ == "__main__":
     if len(sys.argv) == 3 and sys.argv[1] == "--durable-child":
         sys.exit(durable_child(sys.argv[2]))
+    if len(sys.argv) == 3 and sys.argv[1] == "--het-durable-child":
+        sys.exit(het_durable_child(sys.argv[2]))
     sys.exit(main())
